@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series, so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction report.  The cohort profile is selected with the
+``REPRO_PROFILE`` environment variable:
+
+* ``quick`` (default) — small cohort, trimmed sweep axes; minutes end-to-end.
+* ``paper`` — the 7-patient / 24-session / 34-seizure structure of the
+  clinical dataset and the full sweep axes of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.data import active_profile_name, get_experiment_data
+
+
+def _is_paper_profile() -> bool:
+    return active_profile_name() == "paper"
+
+
+@pytest.fixture(scope="session")
+def experiment_data():
+    """Cohort + feature matrix for the selected profile (cached per session)."""
+    return get_experiment_data()
+
+
+@pytest.fixture(scope="session")
+def full_axes() -> bool:
+    """Whether to use the paper's full sweep axes (paper profile) or trimmed ones."""
+    return _is_paper_profile()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are long-running (seconds to minutes); pedantic mode with a
+    single round keeps the harness practical while still recording the wall
+    time alongside the reproduced rows.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,84 @@
+"""Ablation benchmark: norm-based vs. random support-vector pruning.
+
+The paper adopts the budgeted strategy of Wang et al.: iteratively remove the
+support vector with the smallest ``‖α‖² · k(x, x)`` norm and re-train.  This
+benchmark compares that heuristic against removing random support vectors (and
+against removing the *highest*-norm ones, which should be clearly harmful) at
+a tight budget.
+"""
+
+import numpy as np
+
+from repro.core.design_point import DesignPoint, hardware_cost
+from repro.core.evaluation import leave_one_session_out
+from repro.svm.budget import BudgetParams, budget_training_set
+from repro.svm.model import SVMModel, train_svm
+
+from benchmarks.conftest import run_once
+
+#: Tight budget at which the pruning strategy matters.
+BUDGET = 20
+
+
+def _pruning_factory(strategy: str):
+    """Model factory implementing 'norm' (paper), 'random' or 'worst' pruning."""
+
+    def build(X, y):
+        if strategy == "norm":
+            model, _ = budget_training_set(X, y, budget_params=BudgetParams(budget=BUDGET))
+            return model
+        rng = np.random.default_rng(0)
+        keep = np.ones(X.shape[0], dtype=bool)
+        model = train_svm(X[keep], y[keep])
+        for _ in range(200):
+            if model.n_support_vectors <= BUDGET:
+                break
+            excess = model.n_support_vectors - BUDGET
+            n_remove = max(1, int(np.ceil(excess * 0.25)))
+            rows = np.nonzero(keep)[0][model.support_indices]
+            if strategy == "random":
+                chosen = rng.choice(rows, size=n_remove, replace=False)
+            else:  # 'worst': drop the *highest*-norm (most important) SVs
+                order = np.argsort(model.sv_norms())[::-1]
+                chosen = rows[order[:n_remove]]
+            keep[chosen] = False
+            if not (np.any(y[keep] > 0) and np.any(y[keep] < 0)):
+                break
+            model = train_svm(X[keep], y[keep])
+        return model
+
+    return build
+
+
+def _run_ablation(features):
+    results = {}
+    for strategy in ("norm", "random", "worst"):
+        cv = leave_one_session_out(features, _pruning_factory(strategy))
+        results[strategy] = cv
+    return results
+
+
+def test_bench_ablation_sv_pruning(benchmark, experiment_data):
+    results = run_once(benchmark, _run_ablation, experiment_data.features)
+
+    print()
+    for strategy, cv in results.items():
+        print(
+            "%-7s pruning @ budget %d: GM %.1f%%  (Se %.1f%%, Sp %.1f%%, avg #SV %.1f)"
+            % (
+                strategy,
+                BUDGET,
+                100.0 * cv.gm,
+                100.0 * cv.sensitivity,
+                100.0 * cv.specificity,
+                cv.mean_support_vectors,
+            )
+        )
+
+    # All strategies respect the budget.
+    for cv in results.values():
+        assert cv.mean_support_vectors <= BUDGET + 1e-9
+    # The paper's low-norm-first heuristic should not lose to dropping the
+    # most important vectors first, and should be competitive with random.
+    assert results["norm"].gm >= results["worst"].gm - 0.03
+    assert results["norm"].gm >= results["random"].gm - 0.05

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 3 (feature correlation matrix).
+
+Paper reference: the 53×53 Pearson matrix shows that most PSD features, some
+HRV and some Lorenz features are highly mutually correlated (bright blocks),
+which is the redundancy exploited by the feature-reduction step.
+"""
+
+import numpy as np
+
+from repro.experiments import fig3_correlation
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig3_correlation_matrix(benchmark, experiment_data):
+    summary = run_once(benchmark, fig3_correlation.run, experiment_data.features)
+
+    print()
+    print(fig3_correlation.format_summary(summary))
+
+    assert summary.matrix.shape == (53, 53)
+    assert np.allclose(np.diag(summary.matrix), 1.0)
+    # The PSD block must be the dominant redundant block, as in the paper.
+    assert summary.within_group["psd"] > summary.between_groups[("hrv", "psd")]
+    # PSD bands should figure prominently among the most redundant features.
+    psd_share = sum(1 for name in summary.most_redundant if name.startswith("edr_psd"))
+    assert psd_share >= 3

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 4 (GM / energy / area vs. number of features).
+
+Paper reference: GM degrades slowly down to ~15 features and collapses below;
+the selected 23-feature point costs 65% less energy and 42% less area than the
+full 53-feature set for a 1.2% GM loss, on a 64-bit implementation.
+"""
+
+from repro.experiments import fig4_features
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig4_feature_count_sweep(benchmark, experiment_data, full_axes):
+    counts = fig4_features.DEFAULT_FEATURE_COUNTS if full_axes else (53, 38, 23, 15, 8)
+    result = run_once(
+        benchmark, fig4_features.run, experiment_data.features, feature_counts=counts
+    )
+
+    print()
+    print(fig4_features.format_series(result))
+    print("paper reference:", fig4_features.PAPER_REFERENCE)
+
+    points = result.points
+    assert [p.n_features for p in points] == list(counts)
+
+    # Energy and area shrink monotonically with the feature count (the SV
+    # count changes slightly between sizes, so allow a small tolerance).
+    baseline = result.baseline
+    selected = result.selected
+    assert selected.energy_nj < baseline.energy_nj
+    assert selected.area_mm2 < baseline.area_mm2
+
+    summary = result.selected_summary()
+    # Shape check against the paper's selected point: tens of percent of
+    # energy/area saved for a small GM loss.
+    assert summary["energy_reduction_pct"] > 30.0
+    assert summary["area_reduction_pct"] > 20.0
+    assert summary["gm_loss_pct"] < 10.0

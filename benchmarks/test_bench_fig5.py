@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 5 (GM / energy / area vs. SV budget).
+
+Paper reference: classification quality is nearly flat until ~50 support
+vectors remain and collapses below; the ~50-SV point saves 76% energy and 45%
+area for a 1.5% GM loss, on a 64-bit implementation of the full feature set.
+"""
+
+from repro.experiments import fig5_svbudget
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig5_sv_budget_sweep(benchmark, experiment_data, full_axes):
+    budgets = fig5_svbudget.DEFAULT_BUDGETS if full_axes else (120, 68, 50, 25, 12)
+    selected = 50
+    result = run_once(
+        benchmark,
+        fig5_svbudget.run,
+        experiment_data.features,
+        budgets=budgets,
+        selected_budget=selected,
+    )
+
+    print()
+    print(fig5_svbudget.format_series(result))
+    print("paper reference:", fig5_svbudget.PAPER_REFERENCE)
+
+    points = result.points
+    assert len(points) == len(budgets)
+    # SV counts respect the budgets.
+    for point, budget in zip(points, budgets):
+        assert point.n_support_vectors <= budget + 1e-9
+
+    # Costs decrease as the budget tightens.
+    energies = [p.energy_nj for p in points]
+    areas = [p.area_mm2 for p in points]
+    assert energies[0] >= energies[-1]
+    assert areas[0] >= areas[-1]
+
+    summary = result.selected_summary()
+    assert summary["energy_reduction_pct"] > 0.0
+    assert summary["gm_loss_pct"] < 15.0

@@ -1,0 +1,59 @@
+"""Benchmark: regenerate Figure 6 (Dbits × Abits exploration).
+
+Paper reference: with per-feature power-of-two ranges and ten LSBs discarded
+after the dot product and the squarer, Dbits = 9 / Abits = 15 loses only ~1%
+GM versus floating point; a homogeneously scaled pipeline needs far more bits
+(64 in the paper) to reach the same GM, at 2.4× the energy and 6.2× the area.
+"""
+
+from repro.experiments import fig6_bitwidth
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig6_bitwidth_grid(benchmark, experiment_data, full_axes):
+    d_bits = fig6_bitwidth.DEFAULT_FEATURE_BITS if full_axes else (7, 9, 11)
+    a_bits = fig6_bitwidth.DEFAULT_COEFF_BITS if full_axes else (13, 15, 17)
+    widths = (8, 12, 16, 24, 32, 48, 64) if full_axes else (9, 12, 16, 32)
+
+    result = run_once(
+        benchmark,
+        fig6_bitwidth.run,
+        experiment_data.features,
+        feature_bit_options=d_bits,
+        coeff_bit_options=a_bits,
+        homogeneous_widths=widths,
+    )
+
+    print()
+    print(fig6_bitwidth.format_grid(result))
+    print("paper reference:", fig6_bitwidth.PAPER_REFERENCE)
+
+    assert len(result.grid_points) == len(d_bits) * len(a_bits)
+
+    # The paper's selected point (9 / 15 bits) stays close to floating point.
+    summary = result.selected_summary()
+    assert summary["gm_loss_pct_vs_float"] < 8.0
+
+    # Energy and area grow with the word widths on the grid.
+    by_coords = {
+        (int(p.extras["feature_bits"]), int(p.extras["coeff_bits"])): p for p in result.grid_points
+    }
+    smallest = by_coords[(min(d_bits), min(a_bits))]
+    largest = by_coords[(max(d_bits), max(a_bits))]
+    assert largest.energy_nj > smallest.energy_nj
+    assert largest.area_mm2 > smallest.area_mm2
+
+    # Homogeneous scaling at the paper point's feature width (9 bits) must be
+    # clearly worse than per-feature scaling at the same width — the central
+    # claim of the bitwidth section.
+    uniform_narrow = min(
+        result.homogeneous_points, key=lambda p: p.extras.get("uniform_width", p.feature_bits)
+    )
+    assert uniform_narrow.gm < result.selected.gm
+
+    # And the homogeneous pipeline that does match the per-feature GM needs a
+    # (costlier) wider datapath.
+    matching = result.matching_homogeneous_point(tolerance=0.02)
+    if matching is not None:
+        assert matching.extras["uniform_width"] > result.selected_feature_bits

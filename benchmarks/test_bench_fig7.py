@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 7 (combined optimisation flow).
+
+Paper reference: applying the three techniques in sequence (53→30 features,
+68-SV budget, 9/15-bit quantisation) yields 12.5× energy and 16× area gains
+over the 64-bit baseline for a GM loss below 3.2%; 32-bit / 16-bit pipelines
+whose only optimisation is a pair of global scale factors are clearly
+sub-optimal (the 32-bit one needs 7× the area and 4× the energy of the fully
+optimised design).
+"""
+
+from repro.core.combined import CombinedFlowConfig
+from repro.experiments import fig7_combined
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig7_combined_flow(benchmark, experiment_data, full_axes):
+    config = CombinedFlowConfig() if full_axes else CombinedFlowConfig(
+        n_features=30, sv_budget=50, uniform_reference_widths=(32, 16)
+    )
+    result = run_once(benchmark, fig7_combined.run, experiment_data.features, config=config)
+
+    print()
+    print(fig7_combined.format_bars(result))
+    print("paper reference:", fig7_combined.PAPER_REFERENCE)
+
+    flow = result.flow
+    # Costs decrease monotonically along the optimisation stages.
+    energies = [p.energy_nj for p in flow.stages]
+    areas = [p.area_mm2 for p in flow.stages]
+    assert all(a >= b for a, b in zip(energies, energies[1:]))
+    assert all(a >= b for a, b in zip(areas, areas[1:]))
+
+    headline = result.headline()
+    # Order-of-magnitude combined gains, as in the paper (12.5× / 16×).
+    assert headline["energy_gain_x"] > 5.0
+    assert headline["area_gain_x"] > 5.0
+    # Bounded quality loss (paper: 3.2 percentage points of GM).
+    assert headline["gm_loss_pct"] < 15.0
+
+    # The uniform-width reference pipelines cost more than the optimised one.
+    for reference in flow.uniform_references:
+        assert reference.energy_nj > flow.fully_optimised.energy_nj
+        assert reference.area_mm2 > flow.fully_optimised.area_mm2

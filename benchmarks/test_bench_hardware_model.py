@@ -1,0 +1,67 @@
+"""Benchmark: the analytical hardware model itself.
+
+This harness times the accelerator cost evaluation over a large design-space
+sweep (every combination of feature count, SV count and word width used by the
+paper's figures) and checks the scaling laws that the figures rely on.  It is
+the fast, deterministic counterpart of the synthesis runs behind the paper's
+energy / area axes.
+"""
+
+import itertools
+
+from repro.hardware.accelerator import AcceleratorConfig, evaluate_accelerator
+
+from benchmarks.conftest import run_once
+
+FEATURE_COUNTS = (53, 45, 38, 30, 23, 15, 8)
+SV_COUNTS = (120, 100, 80, 68, 50, 35, 20, 10)
+WIDTHS = ((64, 64), (32, 32), (16, 16), (9, 15), (7, 13), (11, 17))
+
+
+def _sweep():
+    reports = {}
+    for n_feat, n_sv, (d_bits, a_bits) in itertools.product(FEATURE_COUNTS, SV_COUNTS, WIDTHS):
+        config = AcceleratorConfig(
+            n_features=n_feat,
+            n_support_vectors=n_sv,
+            feature_bits=d_bits,
+            coeff_bits=a_bits,
+            per_feature_scaling=d_bits != a_bits,
+        )
+        reports[(n_feat, n_sv, d_bits, a_bits)] = evaluate_accelerator(config)
+    return reports
+
+
+def test_bench_hardware_design_space(benchmark):
+    reports = run_once(benchmark, _sweep)
+    assert len(reports) == len(FEATURE_COUNTS) * len(SV_COUNTS) * len(WIDTHS)
+
+    baseline = reports[(53, 120, 64, 64)]
+    optimised = reports[(30, 68, 9, 15)]
+    print()
+    print(
+        "baseline  (53 feat, 120 SV, 64b): %.0f nJ, %.3f mm2"
+        % (baseline.energy_nj, baseline.area_mm2)
+    )
+    print(
+        "optimised (30 feat,  68 SV, 9/15b): %.0f nJ, %.4f mm2  ->  %.1fx energy, %.1fx area"
+        % (
+            optimised.energy_nj,
+            optimised.area_mm2,
+            baseline.energy_nj / optimised.energy_nj,
+            baseline.area_mm2 / optimised.area_mm2,
+        )
+    )
+
+    # The paper's headline factors (12.5× energy, 16× area) should be within
+    # reach of the analytical model for the same configuration change.
+    assert 8.0 < baseline.energy_nj / optimised.energy_nj < 25.0
+    assert 8.0 < baseline.area_mm2 / optimised.area_mm2 < 25.0
+
+    # Monotonicity of the model along every axis the figures sweep.
+    for n_sv in SV_COUNTS:
+        energies = [reports[(n, n_sv, 64, 64)].energy_nj for n in FEATURE_COUNTS]
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+    for n_feat in FEATURE_COUNTS:
+        areas = [reports[(n_feat, n, 64, 64)].area_mm2 for n in SV_COUNTS]
+        assert all(a >= b for a, b in zip(areas, areas[1:]))

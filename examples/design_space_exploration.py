@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Design-space exploration: reproduce the paper's optimisation flow.
+
+This example mirrors Section III of the paper on the synthetic cohort:
+
+* sweep the feature-set size with correlation-driven selection (Figure 4),
+* sweep the support-vector budget (Figure 5),
+* explore the (Dbits, Abits) quantisation grid (Figure 6), and
+* combine the chosen design points into the final pipeline and compare it
+  with the 64/32/16-bit homogeneous-scaling references (Figure 7).
+
+Each stage prints the GM / energy / area trade-off so the knees of the curves
+and the combined gains can be compared with the paper.
+
+Run with:  python examples/design_space_exploration.py  [--profile paper]
+"""
+
+import argparse
+
+from repro.core.combined import CombinedFlowConfig
+from repro.experiments import fig4_features, fig5_svbudget, fig6_bitwidth, fig7_combined
+from repro.experiments.data import PROFILES, get_experiment_data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="quick")
+    args = parser.parse_args()
+
+    data = get_experiment_data(args.profile)
+    features = data.features
+    print("Cohort:", data.cohort.summary())
+
+    # ------------------------------------------------- Figure 4: feature count
+    fig4 = fig4_features.run(features, feature_counts=(53, 38, 30, 23, 15, 8))
+    print()
+    print(fig4_features.format_series(fig4))
+
+    # ------------------------------------------------- Figure 5: SV budget
+    fig5 = fig5_svbudget.run(features, budgets=(120, 68, 50, 25, 12))
+    print()
+    print(fig5_svbudget.format_series(fig5))
+
+    # ------------------------------------------------- Figure 6: bit widths
+    fig6 = fig6_bitwidth.run(
+        features,
+        feature_bit_options=(7, 9, 11),
+        coeff_bit_options=(13, 15, 17),
+        homogeneous_widths=(9, 12, 16, 32),
+    )
+    print()
+    print(fig6_bitwidth.format_grid(fig6))
+
+    # ------------------------------------------------- Figure 7: combination
+    fig7 = fig7_combined.run(
+        features,
+        config=CombinedFlowConfig(n_features=30, sv_budget=50, uniform_reference_widths=(32, 16)),
+    )
+    print()
+    print(fig7_combined.format_bars(fig7))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Kernel comparison (Table I) plus the cost of each kernel's accelerator.
+
+The paper motivates the quadratic kernel by comparing linear, quadratic, cubic
+and Gaussian SVMs (Table I): the polynomial kernels clearly beat the linear
+one on the clinical data, and the quadratic kernel matches the cubic one at a
+lower implementation cost.  This example regenerates the comparison on the
+synthetic cohort and additionally reports, for each kernel, the size of the
+SV memory the accelerator would need — the reason the number of support
+vectors matters as much as raw accuracy on a WBSN.
+
+Run with:  python examples/kernel_comparison.py  [--profile paper]
+"""
+
+import argparse
+
+from repro.core import hardware_cost
+from repro.experiments import table1_kernels
+from repro.experiments.data import PROFILES, get_experiment_data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="quick")
+    args = parser.parse_args()
+
+    data = get_experiment_data(args.profile)
+    rows = table1_kernels.run(data.features)
+
+    print(table1_kernels.format_table(rows))
+    print()
+    print("Paper Table I (clinical cohort), for comparison:")
+    for kernel, reference in table1_kernels.PAPER_TABLE1.items():
+        print(
+            "  %-10s Sp %.1f%%  Se %.1f%%  GM %.1f%%"
+            % (kernel, reference["specificity"], reference["sensitivity"], reference["gm"])
+        )
+
+    print()
+    print("Accelerator implications of the kernel choice (64-bit datapath):")
+    for row in rows:
+        report = hardware_cost(
+            n_features=data.features.n_features,
+            n_support_vectors=max(row.mean_support_vectors, 1.0),
+            feature_bits=64,
+            coeff_bits=64,
+            per_feature_scaling=False,
+            datapath_cap_bits=64,
+        )
+        print(
+            "  %-10s avg #SV %6.1f -> SV memory %7.1f kbit, %7.0f nJ / classification"
+            % (
+                row.kernel,
+                row.mean_support_vectors,
+                row.mean_support_vectors * data.features.n_features * 64 / 1024.0,
+                report.energy_nj,
+            )
+        )
+    print()
+    print(
+        "The quadratic kernel offers cubic-level GM with a smaller SV set than the\n"
+        "Gaussian kernel, which is why the paper tailors Equation 3 in hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: train the seizure detector and size its hardware accelerator.
+
+This walks through the full pipeline of the paper on a small synthetic cohort:
+
+1. generate the cohort (patients, sessions, seizures, confounders),
+2. extract the 53-feature vectors of every three-minute window,
+3. train and evaluate the quadratic-kernel SVM with leave-one-session-out
+   cross-validation (sensitivity / specificity / GM, as in Table I),
+4. convert the detector to the 9-bit / 15-bit fixed-point pipeline, and
+5. estimate the area and energy of the corresponding hardware accelerator.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    float_svm_factory,
+    hardware_cost,
+    leave_one_session_out,
+    quantized_svm_factory,
+)
+from repro.experiments.data import get_experiment_data
+from repro.quant import QuantizationConfig
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    data = get_experiment_data("quick")
+    features = data.features
+    print("Synthetic cohort:", data.cohort.summary())
+    print(
+        "Feature matrix: %d windows x %d features (%d seizure windows)"
+        % (features.n_samples, features.n_features, features.n_positive)
+    )
+
+    # -------------------------------------------------- float (reference) SVM
+    float_cv = leave_one_session_out(features, float_svm_factory())
+    print("\nFloating-point quadratic SVM (leave-one-session-out):")
+    print(
+        "  sensitivity %.1f%%   specificity %.1f%%   GM %.1f%%   avg support vectors %.0f"
+        % (
+            100 * float_cv.sensitivity,
+            100 * float_cv.specificity,
+            100 * float_cv.gm,
+            float_cv.mean_support_vectors,
+        )
+    )
+
+    # -------------------------------------------------- fixed-point pipeline
+    quantization = QuantizationConfig(feature_bits=9, coeff_bits=15)
+    quant_cv = leave_one_session_out(features, quantized_svm_factory(quantization))
+    print("\nFixed-point pipeline (9-bit features, 15-bit coefficients):")
+    print(
+        "  sensitivity %.1f%%   specificity %.1f%%   GM %.1f%%   (GM loss %.1f%% vs float)"
+        % (
+            100 * quant_cv.sensitivity,
+            100 * quant_cv.specificity,
+            100 * quant_cv.gm,
+            100 * (float_cv.gm - quant_cv.gm),
+        )
+    )
+
+    # ------------------------------------------------------ hardware costs
+    baseline_hw = hardware_cost(
+        n_features=features.n_features,
+        n_support_vectors=float_cv.mean_support_vectors,
+        feature_bits=64,
+        coeff_bits=64,
+        per_feature_scaling=False,
+        datapath_cap_bits=64,
+    )
+    optimised_hw = hardware_cost(
+        n_features=features.n_features,
+        n_support_vectors=quant_cv.mean_support_vectors,
+        feature_bits=9,
+        coeff_bits=15,
+        per_feature_scaling=True,
+    )
+    print("\nAccelerator cost (analytical 40 nm model):")
+    print(
+        "  64-bit baseline : %7.0f nJ / classification, %6.3f mm2"
+        % (baseline_hw.energy_nj, baseline_hw.area_mm2)
+    )
+    print(
+        "  9/15-bit design : %7.0f nJ / classification, %6.3f mm2"
+        % (optimised_hw.energy_nj, optimised_hw.area_mm2)
+    )
+    print(
+        "  -> %.1fx energy and %.1fx area reduction from bitwidth tailoring alone"
+        % (
+            baseline_hw.energy_nj / optimised_hw.energy_nj,
+            baseline_hw.area_mm2 / optimised_hw.area_mm2,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Tailoring SVM Inference for Resource-Efficient
+ECG-Based Epilepsy Monitors" (Ferretti et al., DATE 2019).
+
+The library is organised bottom-up:
+
+* :mod:`repro.signals`     — synthetic ECG / RR / respiration cohort (the
+  clinical dataset substitute);
+* :mod:`repro.dsp`         — signal-processing substrate (R-peak detection,
+  AR models, Welch PSD, resampling);
+* :mod:`repro.features`    — the 53-feature set (HRV, Lorenz, AR of EDR,
+  PSD of EDR);
+* :mod:`repro.svm`         — from-scratch SVM training (SMO), kernels and
+  SV budgeting;
+* :mod:`repro.quant`       — fixed-point quantisation and the bit-accurate
+  integer inference pipeline;
+* :mod:`repro.hardware`    — analytical 40 nm area / energy models of the
+  accelerator;
+* :mod:`repro.core`        — the paper's optimisation flows (feature
+  selection, SV budgeting, bitwidth search, combined flow) and the
+  leave-one-session-out evaluation;
+* :mod:`repro.experiments` — regeneration of every table and figure.
+
+Quickstart::
+
+    from repro.experiments.data import get_experiment_data
+    from repro.core import leave_one_session_out, float_svm_factory
+
+    data = get_experiment_data("quick")
+    result = leave_one_session_out(data.features, float_svm_factory())
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "signals",
+    "dsp",
+    "features",
+    "svm",
+    "quant",
+    "hardware",
+    "core",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Core optimisation flows — the paper's contribution.
+
+This package ties the substrates together into the explorations reported in
+the paper:
+
+* :mod:`repro.core.metrics` — sensitivity, specificity and their geometric
+  mean (Equation 2), the figures of merit used throughout the paper;
+* :mod:`repro.core.evaluation` — leave-one-session-out cross-validation
+  (24 folds in the paper) over any model factory (float, budgeted or
+  fixed-point);
+* :mod:`repro.core.design_point` — the record tying classification quality to
+  the hardware cost of a configuration;
+* :mod:`repro.core.feature_selection` — correlation-driven iterative feature
+  removal and the feature-count sweep (Figures 3 and 4);
+* :mod:`repro.core.sv_budgeting` — the support-vector budget sweep (Figure 5);
+* :mod:`repro.core.bitwidth_search` — the (Dbits, Abits) exploration and the
+  homogeneous-scaling baseline (Figure 6);
+* :mod:`repro.core.combined` — the sequential combination of all three
+  techniques and the 64/32/16-bit reference pipelines (Figure 7).
+"""
+
+from repro.core.metrics import ClassificationMetrics, confusion_counts, geometric_mean
+from repro.core.evaluation import (
+    CrossValidationResult,
+    FoldOutcome,
+    leave_one_session_out,
+    float_svm_factory,
+    budgeted_svm_factory,
+    quantized_svm_factory,
+)
+from repro.core.design_point import DesignPoint, hardware_cost
+from repro.core.feature_selection import (
+    correlation_matrix,
+    correlation_removal_order,
+    select_features,
+    feature_reduction_sweep,
+)
+from repro.core.sv_budgeting import sv_budget_sweep
+from repro.core.bitwidth_search import bitwidth_grid_search, homogeneous_width_search
+from repro.core.combined import CombinedFlowConfig, combined_optimisation_flow
+
+__all__ = [
+    "ClassificationMetrics",
+    "confusion_counts",
+    "geometric_mean",
+    "CrossValidationResult",
+    "FoldOutcome",
+    "leave_one_session_out",
+    "float_svm_factory",
+    "budgeted_svm_factory",
+    "quantized_svm_factory",
+    "DesignPoint",
+    "hardware_cost",
+    "correlation_matrix",
+    "correlation_removal_order",
+    "select_features",
+    "feature_reduction_sweep",
+    "sv_budget_sweep",
+    "bitwidth_grid_search",
+    "homogeneous_width_search",
+    "CombinedFlowConfig",
+    "combined_optimisation_flow",
+]

@@ -1,0 +1,141 @@
+"""Bitwidth exploration (Figure 6 of the paper).
+
+The grid search varies the width of the feature words (``Dbits``) and of the
+``α_i y_i`` coefficients (``Abits``) of the fixed-point pipeline, with the ten
+least-significant bits discarded after the dot product and after the squarer,
+and per-feature power-of-two ranges derived from the support-vector
+statistics.  For every grid point the quantised detector is evaluated under
+leave-one-session-out cross-validation and the accelerator cost re-estimated.
+
+:func:`homogeneous_width_search` evaluates the baseline the paper compares
+against: a single scale factor shared by all features, another shared by all
+coefficients, and one uniform width across the whole datapath.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.design_point import DesignPoint, hardware_cost
+from repro.core.evaluation import leave_one_session_out, quantized_svm_factory
+from repro.features.extractor import FeatureMatrix
+from repro.quant.quantized_model import QuantizationConfig
+from repro.svm.kernels import Kernel
+from repro.svm.model import SVMTrainParams
+
+__all__ = ["bitwidth_grid_search", "homogeneous_width_search"]
+
+
+def _design_point_for(
+    features: FeatureMatrix,
+    quantization: QuantizationConfig,
+    name: str,
+    budget: Optional[int],
+    kernel: Optional[Kernel],
+    train_params: Optional[SVMTrainParams],
+    chunk_fraction: float = 0.25,
+) -> DesignPoint:
+    factory = quantized_svm_factory(
+        quantization,
+        budget=budget,
+        kernel=kernel,
+        train_params=train_params,
+        chunk_fraction=chunk_fraction,
+    )
+    cv = leave_one_session_out(features, factory)
+    n_sv = cv.mean_support_vectors
+    if not np.isfinite(n_sv) or n_sv <= 0:
+        n_sv = float(budget) if budget else float(features.n_samples)
+    hardware = hardware_cost(
+        n_features=features.n_features,
+        n_support_vectors=n_sv,
+        feature_bits=quantization.feature_bits,
+        coeff_bits=quantization.coeff_bits,
+        per_feature_scaling=quantization.per_feature_scaling,
+        datapath_cap_bits=quantization.datapath_cap_bits,
+        truncate_after_dot=quantization.truncate_after_dot,
+        truncate_after_square=quantization.truncate_after_square,
+    )
+    return DesignPoint.from_evaluation(name=name, cv_result=cv, hardware=hardware)
+
+
+def bitwidth_grid_search(
+    features: FeatureMatrix,
+    feature_bit_options: Sequence[int],
+    coeff_bit_options: Sequence[int],
+    truncate_after_dot: int = 10,
+    truncate_after_square: int = 10,
+    budget: Optional[int] = None,
+    kernel: Optional[Kernel] = None,
+    train_params: Optional[SVMTrainParams] = None,
+) -> List[DesignPoint]:
+    """Evaluate every (Dbits, Abits) combination of the grid (Figure 6).
+
+    Returns
+    -------
+    list of :class:`DesignPoint` in row-major order (Dbits outer, Abits inner);
+    each point's ``extras`` records the grid coordinates.
+    """
+    points: List[DesignPoint] = []
+    for d_bits in feature_bit_options:
+        for a_bits in coeff_bit_options:
+            quantization = QuantizationConfig(
+                feature_bits=int(d_bits),
+                coeff_bits=int(a_bits),
+                truncate_after_dot=truncate_after_dot,
+                truncate_after_square=truncate_after_square,
+                per_feature_scaling=True,
+            )
+            point = _design_point_for(
+                features,
+                quantization,
+                name="Dbits=%d,Abits=%d" % (d_bits, a_bits),
+                budget=budget,
+                kernel=kernel,
+                train_params=train_params,
+            )
+            point.extras["feature_bits"] = float(d_bits)
+            point.extras["coeff_bits"] = float(a_bits)
+            points.append(point)
+    return points
+
+
+def homogeneous_width_search(
+    features: FeatureMatrix,
+    widths: Sequence[int],
+    budget: Optional[int] = None,
+    kernel: Optional[Kernel] = None,
+    train_params: Optional[SVMTrainParams] = None,
+    truncate_after_dot: int = 10,
+    truncate_after_square: int = 10,
+) -> List[DesignPoint]:
+    """Evaluate uniform-width pipelines with global scale factors.
+
+    This is the paper's comparison baseline: the same bitwidth throughout the
+    pipeline and a single scaling factor shared among features (and another
+    among the coefficients).  The paper finds that 64 bits are needed to match
+    the GM of the per-feature 9/15-bit design.
+    """
+    points: List[DesignPoint] = []
+    for width in widths:
+        quantization = QuantizationConfig(
+            feature_bits=int(width),
+            coeff_bits=int(width),
+            truncate_after_dot=truncate_after_dot,
+            truncate_after_square=truncate_after_square,
+            per_feature_scaling=False,
+            datapath_cap_bits=int(width),
+        )
+        point = _design_point_for(
+            features,
+            quantization,
+            name="uniform-%dbit" % width,
+            budget=budget,
+            kernel=kernel,
+            train_params=train_params,
+        )
+        point.extras["uniform_width"] = float(width)
+        points.append(point)
+    return points

@@ -1,0 +1,220 @@
+"""Combined optimisation flow (Figure 7 of the paper).
+
+The three approximation techniques compose naturally because they act on
+orthogonal resources: the feature count (MAC1 workload + memory words per SV),
+the SV count (memory depth + kernel evaluations) and the word widths
+(arithmetic and memory width).  The paper applies them in sequence —
+
+  1. reduce the feature set from 53 to 30 features,
+  2. budget the support-vector set to 68 vectors,
+  3. quantise features to 9 bits and coefficients to 15 bits
+
+— and reports GM / energy / area after every stage, normalised to the 64-bit,
+unreduced baseline, together with two reference pipelines (32-bit and 16-bit)
+that only apply homogeneous scaling.  The combined gains are 12.5× energy and
+16× area for a GM loss below 3.2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.bitwidth_search import homogeneous_width_search
+from repro.core.design_point import DesignPoint, hardware_cost
+from repro.core.evaluation import (
+    budgeted_svm_factory,
+    float_svm_factory,
+    leave_one_session_out,
+    quantized_svm_factory,
+)
+from repro.core.feature_selection import correlation_removal_order, select_features
+from repro.features.extractor import FeatureMatrix
+from repro.quant.quantized_model import QuantizationConfig
+from repro.svm.kernels import Kernel
+from repro.svm.model import SVMTrainParams
+
+__all__ = ["CombinedFlowConfig", "CombinedFlowResult", "combined_optimisation_flow"]
+
+
+@dataclass
+class CombinedFlowConfig:
+    """Design choices of the combined flow (the paper's Figure 7 settings)."""
+
+    #: Feature-set size after correlation-driven reduction.
+    n_features: int = 30
+    #: Support-vector budget.
+    sv_budget: int = 68
+    #: Feature word width of the final fixed-point pipeline.
+    feature_bits: int = 9
+    #: Coefficient word width of the final fixed-point pipeline.
+    coeff_bits: int = 15
+    #: LSBs discarded after the dot product / the squarer.
+    truncate_after_dot: int = 10
+    truncate_after_square: int = 10
+    #: Word width of the reference (un-optimised) implementation.
+    baseline_bits: int = 64
+    #: Homogeneous-scaling reference pipelines to evaluate alongside.
+    uniform_reference_widths: Sequence[int] = (32, 16)
+    #: Removal schedule of the SV budgeting loop.
+    chunk_fraction: float = 0.25
+
+
+@dataclass
+class CombinedFlowResult:
+    """Design points of every stage of the combined flow."""
+
+    baseline: DesignPoint
+    feature_reduced: DesignPoint
+    feature_and_sv_reduced: DesignPoint
+    fully_optimised: DesignPoint
+    uniform_references: List[DesignPoint] = field(default_factory=list)
+
+    @property
+    def stages(self) -> List[DesignPoint]:
+        """The four sequential stages, baseline first."""
+        return [
+            self.baseline,
+            self.feature_reduced,
+            self.feature_and_sv_reduced,
+            self.fully_optimised,
+        ]
+
+    def normalised_rows(self) -> List[Dict[str, float]]:
+        """GM / energy / area of every point normalised to the baseline."""
+        rows: List[Dict[str, float]] = []
+        for point in self.stages + self.uniform_references:
+            row = {"name": point.name}
+            row.update(point.normalised_to(self.baseline))
+            rows.append(row)
+        return rows
+
+    def headline_gains(self) -> Dict[str, float]:
+        """The paper's headline numbers: ×-gains and absolute GM loss."""
+        return {
+            "energy_gain": self.fully_optimised.energy_gain_over(self.baseline),
+            "area_gain": self.fully_optimised.area_gain_over(self.baseline),
+            "gm_loss": self.baseline.gm - self.fully_optimised.gm,
+        }
+
+
+def combined_optimisation_flow(
+    features: FeatureMatrix,
+    config: Optional[CombinedFlowConfig] = None,
+    kernel: Optional[Kernel] = None,
+    train_params: Optional[SVMTrainParams] = None,
+) -> CombinedFlowResult:
+    """Run the full optimisation sequence and the reference pipelines.
+
+    Parameters
+    ----------
+    features:
+        The full 53-feature matrix of the cohort.
+    config:
+        Stage parameters; defaults follow the paper (30 features, 68 SVs,
+        9-bit features, 15-bit coefficients, 64-bit baseline).
+    kernel, train_params:
+        Training configuration shared by every stage.
+
+    Returns
+    -------
+    :class:`CombinedFlowResult`
+    """
+    if config is None:
+        config = CombinedFlowConfig()
+
+    # Stage 0 — 64-bit baseline on the full feature set, unbudgeted.
+    baseline_cv = leave_one_session_out(features, float_svm_factory(kernel, train_params))
+    baseline_hw = hardware_cost(
+        n_features=features.n_features,
+        n_support_vectors=baseline_cv.mean_support_vectors,
+        feature_bits=config.baseline_bits,
+        coeff_bits=config.baseline_bits,
+        per_feature_scaling=False,
+        datapath_cap_bits=config.baseline_bits,
+    )
+    baseline = DesignPoint.from_evaluation("baseline-64bit", baseline_cv, baseline_hw)
+
+    # Stage 1 — feature reduction.
+    removal_order = correlation_removal_order(features.X)
+    kept = select_features(features.X, config.n_features, removal_order)
+    reduced = features.select_features(kept)
+    stage1_cv = leave_one_session_out(reduced, float_svm_factory(kernel, train_params))
+    stage1_hw = hardware_cost(
+        n_features=reduced.n_features,
+        n_support_vectors=stage1_cv.mean_support_vectors,
+        feature_bits=config.baseline_bits,
+        coeff_bits=config.baseline_bits,
+        per_feature_scaling=False,
+        datapath_cap_bits=config.baseline_bits,
+    )
+    stage1 = DesignPoint.from_evaluation("feature-reduction", stage1_cv, stage1_hw)
+
+    # Stage 2 — feature reduction + SV budgeting.
+    stage2_cv = leave_one_session_out(
+        reduced,
+        budgeted_svm_factory(
+            budget=config.sv_budget,
+            kernel=kernel,
+            train_params=train_params,
+            chunk_fraction=config.chunk_fraction,
+        ),
+    )
+    stage2_hw = hardware_cost(
+        n_features=reduced.n_features,
+        n_support_vectors=stage2_cv.mean_support_vectors,
+        feature_bits=config.baseline_bits,
+        coeff_bits=config.baseline_bits,
+        per_feature_scaling=False,
+        datapath_cap_bits=config.baseline_bits,
+    )
+    stage2 = DesignPoint.from_evaluation("feature+sv-reduction", stage2_cv, stage2_hw)
+
+    # Stage 3 — feature reduction + SV budgeting + bitwidth reduction.
+    quantization = QuantizationConfig(
+        feature_bits=config.feature_bits,
+        coeff_bits=config.coeff_bits,
+        truncate_after_dot=config.truncate_after_dot,
+        truncate_after_square=config.truncate_after_square,
+        per_feature_scaling=True,
+    )
+    stage3_cv = leave_one_session_out(
+        reduced,
+        quantized_svm_factory(
+            quantization,
+            budget=config.sv_budget,
+            kernel=kernel,
+            train_params=train_params,
+            chunk_fraction=config.chunk_fraction,
+        ),
+    )
+    stage3_hw = hardware_cost(
+        n_features=reduced.n_features,
+        n_support_vectors=stage3_cv.mean_support_vectors,
+        feature_bits=config.feature_bits,
+        coeff_bits=config.coeff_bits,
+        per_feature_scaling=True,
+        truncate_after_dot=config.truncate_after_dot,
+        truncate_after_square=config.truncate_after_square,
+    )
+    stage3 = DesignPoint.from_evaluation("feature+sv+bit-reduction", stage3_cv, stage3_hw)
+
+    # Reference pipelines: homogeneous scaling at fixed uniform widths, on the
+    # full feature set and unbudgeted SV set (the paper's "more limited
+    # strategy where two global scale parameters are the only optimisation").
+    references = homogeneous_width_search(
+        features,
+        config.uniform_reference_widths,
+        kernel=kernel,
+        train_params=train_params,
+        truncate_after_dot=config.truncate_after_dot,
+        truncate_after_square=config.truncate_after_square,
+    )
+
+    return CombinedFlowResult(
+        baseline=baseline,
+        feature_reduced=stage1,
+        feature_and_sv_reduced=stage2,
+        fully_optimised=stage3,
+        uniform_references=references,
+    )

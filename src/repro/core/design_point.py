@@ -1,0 +1,127 @@
+"""Design points: classification quality + hardware cost of one configuration.
+
+Every exploration in the paper (Figures 4–7) reports, for each configuration,
+the classification GM together with the energy-per-classification and the area
+of the corresponding accelerator.  :class:`DesignPoint` is the record used by
+all sweeps, and :func:`hardware_cost` maps a configuration (feature count, SV
+count, bit widths, scaling scheme) to its hardware cost through the analytical
+models of :mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.evaluation import CrossValidationResult
+from repro.hardware.accelerator import AcceleratorConfig, AcceleratorReport, evaluate_accelerator
+from repro.hardware.technology import TECH_40NM, TechnologyParams
+
+__all__ = ["DesignPoint", "hardware_cost"]
+
+
+def hardware_cost(
+    n_features: int,
+    n_support_vectors: int,
+    feature_bits: int = 64,
+    coeff_bits: int = 64,
+    per_feature_scaling: bool = True,
+    datapath_cap_bits: Optional[int] = None,
+    truncate_after_dot: int = 10,
+    truncate_after_square: int = 10,
+    tech: TechnologyParams = TECH_40NM,
+) -> AcceleratorReport:
+    """Hardware cost of one accelerator configuration.
+
+    ``n_support_vectors`` may be fractional (the average across folds); it is
+    rounded to the nearest integer because the memory must host whole vectors.
+    """
+    config = AcceleratorConfig(
+        n_features=int(round(n_features)),
+        n_support_vectors=max(int(round(n_support_vectors)), 1),
+        feature_bits=int(feature_bits),
+        coeff_bits=int(coeff_bits),
+        truncate_after_dot=truncate_after_dot,
+        truncate_after_square=truncate_after_square,
+        per_feature_scaling=per_feature_scaling,
+        datapath_cap_bits=datapath_cap_bits,
+    )
+    return evaluate_accelerator(config, tech)
+
+
+@dataclass
+class DesignPoint:
+    """One point of a quality / cost trade-off curve."""
+
+    name: str
+    n_features: int
+    n_support_vectors: float
+    feature_bits: int
+    coeff_bits: int
+    sensitivity: float
+    specificity: float
+    gm: float
+    energy_nj: float
+    area_mm2: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_evaluation(
+        cls,
+        name: str,
+        cv_result: CrossValidationResult,
+        hardware: AcceleratorReport,
+        extras: Optional[Dict[str, float]] = None,
+    ) -> "DesignPoint":
+        """Combine a cross-validation result with its hardware report."""
+        return cls(
+            name=name,
+            n_features=hardware.config.n_features,
+            n_support_vectors=cv_result.mean_support_vectors,
+            feature_bits=hardware.config.feature_bits,
+            coeff_bits=hardware.config.coeff_bits,
+            sensitivity=cv_result.sensitivity,
+            specificity=cv_result.specificity,
+            gm=cv_result.gm,
+            energy_nj=hardware.energy_nj,
+            area_mm2=hardware.area_mm2,
+            extras=dict(extras or {}),
+        )
+
+    # -------------------------------------------------------------- ratios
+    def energy_gain_over(self, baseline: "DesignPoint") -> float:
+        """Baseline energy divided by this point's energy (×-factor)."""
+        return baseline.energy_nj / self.energy_nj if self.energy_nj > 0 else float("inf")
+
+    def area_gain_over(self, baseline: "DesignPoint") -> float:
+        """Baseline area divided by this point's area (×-factor)."""
+        return baseline.area_mm2 / self.area_mm2 if self.area_mm2 > 0 else float("inf")
+
+    def gm_loss_vs(self, baseline: "DesignPoint") -> float:
+        """Absolute GM loss (percentage points when GM is in percent units)."""
+        return baseline.gm - self.gm
+
+    def normalised_to(self, baseline: "DesignPoint") -> Dict[str, float]:
+        """GM / energy / area normalised to a baseline point (Figure 7 style)."""
+        return {
+            "gm": self.gm / baseline.gm if baseline.gm else float("nan"),
+            "energy": self.energy_nj / baseline.energy_nj if baseline.energy_nj else float("nan"),
+            "area": self.area_mm2 / baseline.area_mm2 if baseline.area_mm2 else float("nan"),
+        }
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary used by the experiment tables and benches."""
+        row = {
+            "name": self.name,
+            "n_features": self.n_features,
+            "n_support_vectors": self.n_support_vectors,
+            "feature_bits": self.feature_bits,
+            "coeff_bits": self.coeff_bits,
+            "sensitivity": self.sensitivity,
+            "specificity": self.specificity,
+            "gm": self.gm,
+            "energy_nj": self.energy_nj,
+            "area_mm2": self.area_mm2,
+        }
+        row.update(self.extras)
+        return row

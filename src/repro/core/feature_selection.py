@@ -1,0 +1,158 @@
+"""Correlation-driven feature-set reduction (Figures 3 and 4 of the paper).
+
+The paper reduces the 53-feature set by exploiting redundancy: the pairwise
+Pearson correlation matrix is computed (Figure 3), the coefficients are summed
+column-wise, and the feature with the highest aggregated correlation — i.e.
+the one whose information is best represented by the others — is removed.
+Iterating the two steps yields a nested family of feature subsets; an SVM is
+retrained for every subset size and the accelerator re-synthesised, producing
+the GM / energy / area curves of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.design_point import DesignPoint, hardware_cost
+from repro.core.evaluation import float_svm_factory, leave_one_session_out
+from repro.features.extractor import FeatureMatrix
+from repro.svm.kernels import Kernel
+from repro.svm.model import SVMTrainParams
+
+__all__ = [
+    "correlation_matrix",
+    "correlation_removal_order",
+    "select_features",
+    "feature_reduction_sweep",
+]
+
+
+def correlation_matrix(X: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson correlation matrix of the feature columns (Equation 4).
+
+    Constant columns (zero variance) have undefined correlations; they carry
+    no information, so their correlation with every other feature is set to 1
+    so that the removal heuristic prunes them first.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2 or X.shape[0] < 2:
+        raise ValueError("X must be 2-D with at least two rows")
+    std = X.std(axis=0)
+    constant = std < 1e-15
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.corrcoef(X, rowvar=False)
+    corr = np.atleast_2d(corr)
+    corr[np.isnan(corr)] = 1.0
+    if np.any(constant):
+        corr[constant, :] = 1.0
+        corr[:, constant] = 1.0
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def correlation_removal_order(X: np.ndarray) -> List[int]:
+    """Order in which features are removed by the iterative heuristic.
+
+    At each step the Pearson matrix of the *remaining* features is recomputed,
+    the coefficients are summed column-wise (signed, as in the paper — a
+    strongly anti-correlated pair carries complementary information and should
+    *not* inflate the redundancy score), and the feature with the largest
+    aggregate (the most redundant one) is removed.  The returned list contains
+    original column indices, first-removed first; keeping the last ``k``
+    features of the reversed order reproduces the paper's subsets.
+    """
+    X = np.asarray(X, dtype=float)
+    remaining = list(range(X.shape[1]))
+    removal_order: List[int] = []
+    while len(remaining) > 1:
+        corr = correlation_matrix(X[:, remaining])
+        aggregate = np.sum(corr, axis=0) - 1.0  # exclude the self-correlation
+        worst_local = int(np.argmax(aggregate))
+        removal_order.append(remaining.pop(worst_local))
+    removal_order.extend(remaining)
+    return removal_order
+
+
+def select_features(X: np.ndarray, n_keep: int, removal_order: Optional[Sequence[int]] = None) -> List[int]:
+    """Column indices of the ``n_keep`` features retained by the heuristic.
+
+    The returned indices are sorted in their original order so that feature
+    group structure (HRV / Lorenz / AR / PSD) remains recognisable.
+    """
+    X = np.asarray(X, dtype=float)
+    n_features = X.shape[1]
+    if not 1 <= n_keep <= n_features:
+        raise ValueError("n_keep must lie in 1..%d" % n_features)
+    order = list(removal_order) if removal_order is not None else correlation_removal_order(X)
+    if sorted(order) != list(range(n_features)):
+        raise ValueError("removal_order must be a permutation of the feature indices")
+    removed = set(order[: n_features - n_keep])
+    return [idx for idx in range(n_features) if idx not in removed]
+
+
+def feature_reduction_sweep(
+    features: FeatureMatrix,
+    feature_counts: Sequence[int],
+    kernel: Optional[Kernel] = None,
+    train_params: Optional[SVMTrainParams] = None,
+    feature_bits: int = 64,
+    coeff_bits: int = 64,
+    removal_order: Optional[Sequence[int]] = None,
+    selection_fn: Optional[Callable[[np.ndarray, int], List[int]]] = None,
+) -> List[DesignPoint]:
+    """GM / energy / area for a series of feature-set sizes (Figure 4).
+
+    Parameters
+    ----------
+    features:
+        Full 53-feature matrix.
+    feature_counts:
+        Subset sizes to evaluate (e.g. ``[53, 45, ..., 5]``).
+    kernel, train_params:
+        Training configuration (defaults to the paper's quadratic kernel).
+    feature_bits, coeff_bits:
+        Word widths of the hardware model; Figure 4 uses a 64-bit
+        implementation, "which has the same accuracy as an equivalent floating
+        point version".
+    removal_order:
+        Pre-computed removal order (avoids recomputation across sweeps).
+    selection_fn:
+        Alternative selection strategy ``(X, n_keep) -> indices``; used by the
+        ablation benchmarks (e.g. random selection).  When provided,
+        ``removal_order`` is ignored.
+
+    Returns
+    -------
+    list of :class:`DesignPoint`, one per requested subset size.
+    """
+    if removal_order is None and selection_fn is None:
+        removal_order = correlation_removal_order(features.X)
+
+    points: List[DesignPoint] = []
+    for count in feature_counts:
+        if selection_fn is not None:
+            kept = selection_fn(features.X, int(count))
+        else:
+            kept = select_features(features.X, int(count), removal_order)
+        reduced = features.select_features(kept)
+        cv = leave_one_session_out(reduced, float_svm_factory(kernel, train_params))
+        hardware = hardware_cost(
+            n_features=len(kept),
+            n_support_vectors=cv.mean_support_vectors,
+            feature_bits=feature_bits,
+            coeff_bits=coeff_bits,
+            per_feature_scaling=False,
+            datapath_cap_bits=max(feature_bits, coeff_bits),
+        )
+        points.append(
+            DesignPoint.from_evaluation(
+                name="features=%d" % count,
+                cv_result=cv,
+                hardware=hardware,
+                extras={"kept_indices": list(map(float, kept))},
+            )
+        )
+    return points

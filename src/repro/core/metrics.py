@@ -1,0 +1,94 @@
+"""Classification figures of merit (Equation 2 of the paper).
+
+Seizure windows are rare, so plain accuracy is meaningless; the paper uses
+Sensitivity (recall on seizures), Specificity (recall on background) and their
+Geometric Mean, which is high only when *both* classes are detected well,
+following Fleming & Wallace's argument for geometric means of normalised
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["confusion_counts", "geometric_mean", "ClassificationMetrics"]
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[int, int, int, int]:
+    """(TP, TN, FP, FN) for labels in ``{-1, +1}`` (+1 = seizure)."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    valid = {-1, 1}
+    if not set(np.unique(y_true)).issubset(valid) or not set(np.unique(y_pred)).issubset(valid):
+        raise ValueError("labels must be -1 or +1")
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    tn = int(np.sum((y_true == -1) & (y_pred == -1)))
+    fp = int(np.sum((y_true == -1) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == -1)))
+    return tp, tn, fp, fn
+
+
+def geometric_mean(sensitivity: float, specificity: float) -> float:
+    """GM = sqrt(Se × Sp)."""
+    if sensitivity < 0 or specificity < 0:
+        raise ValueError("sensitivity and specificity must be non-negative")
+    return float(np.sqrt(sensitivity * specificity))
+
+
+@dataclass(frozen=True)
+class ClassificationMetrics:
+    """Sensitivity / specificity / GM of one evaluation."""
+
+    true_positives: int
+    true_negatives: int
+    false_positives: int
+    false_negatives: int
+
+    @classmethod
+    def from_predictions(cls, y_true: np.ndarray, y_pred: np.ndarray) -> "ClassificationMetrics":
+        tp, tn, fp, fn = confusion_counts(y_true, y_pred)
+        return cls(true_positives=tp, true_negatives=tn, false_positives=fp, false_negatives=fn)
+
+    @property
+    def n_positive(self) -> int:
+        return self.true_positives + self.false_negatives
+
+    @property
+    def n_negative(self) -> int:
+        return self.true_negatives + self.false_positives
+
+    @property
+    def sensitivity(self) -> Optional[float]:
+        """TP / (TP + FN); ``None`` when the evaluation contains no positives."""
+        if self.n_positive == 0:
+            return None
+        return self.true_positives / self.n_positive
+
+    @property
+    def specificity(self) -> Optional[float]:
+        """TN / (TN + FP); ``None`` when the evaluation contains no negatives."""
+        if self.n_negative == 0:
+            return None
+        return self.true_negatives / self.n_negative
+
+    @property
+    def gm(self) -> Optional[float]:
+        """Geometric mean of sensitivity and specificity, when both exist."""
+        se, sp = self.sensitivity, self.specificity
+        if se is None or sp is None:
+            return None
+        return geometric_mean(se, sp)
+
+    def merged_with(self, other: "ClassificationMetrics") -> "ClassificationMetrics":
+        """Pool the confusion counts of two evaluations."""
+        return ClassificationMetrics(
+            true_positives=self.true_positives + other.true_positives,
+            true_negatives=self.true_negatives + other.true_negatives,
+            false_positives=self.false_positives + other.false_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+        )

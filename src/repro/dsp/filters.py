@@ -1,0 +1,102 @@
+"""Basic filtering primitives used across the feature-extraction chain."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moving_average", "difference", "detrend", "bandpass_fir", "apply_fir"]
+
+
+def moving_average(x: np.ndarray, width: int) -> np.ndarray:
+    """Centered moving average with edge handling by shrinking the window.
+
+    Parameters
+    ----------
+    x:
+        Input signal (1-D).
+    width:
+        Window width in samples; values smaller than 2 return a copy.
+    """
+    x = np.asarray(x, dtype=float)
+    if width < 2 or x.size == 0:
+        return x.copy()
+    kernel = np.ones(width) / width
+    # 'same' convolution then fix the edges where the kernel was truncated.
+    smoothed = np.convolve(x, kernel, mode="same")
+    counts = np.convolve(np.ones_like(x), kernel, mode="same")
+    return smoothed / np.maximum(counts, 1e-12)
+
+
+def difference(x: np.ndarray) -> np.ndarray:
+    """First difference with the same length as the input (prepends a zero)."""
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        return x.copy()
+    return np.concatenate(([0.0], np.diff(x)))
+
+
+def detrend(x: np.ndarray) -> np.ndarray:
+    """Remove the best-fit straight line from a signal.
+
+    Used before AR and PSD estimation so that the very-low-frequency trend
+    does not dominate the spectrum.
+    """
+    x = np.asarray(x, dtype=float)
+    n = x.size
+    if n < 3:
+        return x - (np.mean(x) if n else 0.0)
+    t = np.arange(n, dtype=float)
+    t -= t.mean()
+    slope = np.dot(t, x - x.mean()) / np.dot(t, t)
+    return x - x.mean() - slope * t
+
+
+def bandpass_fir(
+    low_hz: float, high_hz: float, fs: float, numtaps: int = 101
+) -> np.ndarray:
+    """Design a linear-phase band-pass FIR filter by the windowed-sinc method.
+
+    The implementation is deliberately self-contained (no ``scipy.signal``
+    dependency) so the substrate remains easy to port to an embedded target.
+
+    Parameters
+    ----------
+    low_hz, high_hz:
+        Pass-band edges in Hz (``0 < low_hz < high_hz < fs / 2``).
+    fs:
+        Sampling frequency in Hz.
+    numtaps:
+        Number of filter coefficients (made odd if an even value is given).
+    """
+    if not (0.0 < low_hz < high_hz < fs / 2.0):
+        raise ValueError("require 0 < low_hz < high_hz < fs/2")
+    if numtaps % 2 == 0:
+        numtaps += 1
+    m = np.arange(numtaps) - (numtaps - 1) / 2.0
+    # Ideal band-pass = difference of two low-pass sinc prototypes.
+    def _lowpass(cutoff_hz: float) -> np.ndarray:
+        normalized = 2.0 * cutoff_hz / fs
+        return normalized * np.sinc(normalized * m)
+
+    taps = _lowpass(high_hz) - _lowpass(low_hz)
+    taps *= np.hamming(numtaps)
+    # Normalise the pass-band gain at the geometric centre frequency.
+    centre = np.sqrt(low_hz * high_hz)
+    omega = 2.0 * np.pi * centre / fs
+    gain = np.abs(np.sum(taps * np.exp(-1j * omega * np.arange(numtaps))))
+    if gain > 1e-12:
+        taps /= gain
+    return taps
+
+
+def apply_fir(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Zero-phase application of an FIR filter (forward filtering, group-delay
+    compensated), returning a signal the same length as the input."""
+    x = np.asarray(x, dtype=float)
+    taps = np.asarray(taps, dtype=float)
+    if x.size == 0:
+        return x.copy()
+    delay = (taps.size - 1) // 2
+    padded = np.concatenate((x, np.full(delay, x[-1])))
+    filtered = np.convolve(padded, taps, mode="full")
+    return filtered[delay : delay + x.size]

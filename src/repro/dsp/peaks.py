@@ -1,0 +1,123 @@
+"""Pan–Tompkins-style R-peak detection.
+
+The WBSN signal path in Figure 1 of the paper starts from the raw ECG; the
+feature extractor needs beat locations (for HRV / Lorenz features) and R-wave
+amplitudes (for amplitude-based EDR).  This module provides a compact
+Pan–Tompkins-style detector: band-pass filtering, differentiation, squaring,
+moving-window integration and adaptive thresholding with a refractory period,
+followed by a local refinement of the R-peak position on the filtered signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dsp.filters import apply_fir, bandpass_fir, moving_average
+
+__all__ = ["PanTompkinsParams", "detect_r_peaks"]
+
+
+@dataclass
+class PanTompkinsParams:
+    """Tuning parameters of the R-peak detector."""
+
+    #: Pass band of the QRS enhancement filter (Hz).
+    band_low_hz: float = 5.0
+    band_high_hz: float = 18.0
+    #: Moving-window integration length in seconds (roughly the QRS width).
+    integration_window_s: float = 0.150
+    #: Refractory period: minimum spacing between detected beats (seconds).
+    refractory_s: float = 0.25
+    #: Threshold as a fraction of the running signal level.
+    threshold_fraction: float = 0.35
+    #: Time constant of the running signal-level estimate, in peaks.
+    level_memory: float = 8.0
+    #: Half-width of the window used to refine the R position (seconds).
+    refine_half_window_s: float = 0.10
+
+
+def _moving_window_integration(x: np.ndarray, width: int) -> np.ndarray:
+    return moving_average(x, max(width, 1))
+
+
+def detect_r_peaks(
+    ecg: np.ndarray, fs: float, params: PanTompkinsParams | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Detect R peaks in a single-lead ECG trace.
+
+    Parameters
+    ----------
+    ecg:
+        ECG samples (millivolts or any consistent unit).
+    fs:
+        Sampling frequency in Hz.
+    params:
+        Detector parameters.
+
+    Returns
+    -------
+    (peak_indices, peak_times_s):
+        Sample indices and times (seconds) of the detected R peaks.
+    """
+    if params is None:
+        params = PanTompkinsParams()
+    ecg = np.asarray(ecg, dtype=float)
+    if ecg.size < int(fs):
+        return np.empty(0, dtype=int), np.empty(0)
+
+    # 1. Band-pass filter to isolate the QRS energy.
+    taps = bandpass_fir(params.band_low_hz, params.band_high_hz, fs, numtaps=int(fs // 2) * 2 + 1)
+    filtered = apply_fir(ecg, taps)
+
+    # 2. Differentiate, square, integrate.
+    derivative = np.gradient(filtered)
+    squared = derivative**2
+    integrated = _moving_window_integration(squared, int(params.integration_window_s * fs))
+
+    # 3. Adaptive threshold with refractory period.
+    refractory = int(params.refractory_s * fs)
+    level = float(np.percentile(integrated, 98))
+    threshold = params.threshold_fraction * level
+    peaks = []
+    i = 1
+    n = integrated.size
+    while i < n - 1:
+        if (
+            integrated[i] > threshold
+            and integrated[i] >= integrated[i - 1]
+            and integrated[i] >= integrated[i + 1]
+        ):
+            peaks.append(i)
+            # Update the running level and threshold.
+            level += (integrated[i] - level) / params.level_memory
+            threshold = params.threshold_fraction * level
+            i += refractory
+        else:
+            i += 1
+
+    if not peaks:
+        return np.empty(0, dtype=int), np.empty(0)
+
+    # 4. Refine each peak to the local maximum of the filtered ECG.
+    half = int(params.refine_half_window_s * fs)
+    refined = []
+    for p in peaks:
+        lo = max(0, p - half)
+        hi = min(ecg.size, p + half + 1)
+        refined.append(lo + int(np.argmax(filtered[lo:hi])))
+    refined_arr = np.asarray(sorted(set(refined)), dtype=int)
+
+    # Drop refined peaks that collapsed onto each other within the refractory
+    # period (keep the larger one).
+    keep = [0]
+    for idx in range(1, refined_arr.size):
+        if refined_arr[idx] - refined_arr[keep[-1]] < refractory:
+            if filtered[refined_arr[idx]] > filtered[refined_arr[keep[-1]]]:
+                keep[-1] = idx
+        else:
+            keep.append(idx)
+    final = refined_arr[keep]
+    return final, final / fs

@@ -1,0 +1,40 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every module exposes a ``run(...)`` function that regenerates the rows or
+series of the corresponding paper artefact on the synthetic cohort, and a
+``format_*`` helper that renders them as a text table comparable to the paper:
+
+* :mod:`repro.experiments.table1_kernels` — Table I (kernel comparison);
+* :mod:`repro.experiments.fig3_correlation` — Figure 3 (correlation matrix);
+* :mod:`repro.experiments.fig4_features`    — Figure 4 (feature-count sweep);
+* :mod:`repro.experiments.fig5_svbudget`    — Figure 5 (SV-budget sweep);
+* :mod:`repro.experiments.fig6_bitwidth`    — Figure 6 (Dbits × Abits grid);
+* :mod:`repro.experiments.fig7_combined`    — Figure 7 (combined flow).
+
+:mod:`repro.experiments.data` builds and caches the synthetic cohort and its
+feature matrix for two profiles: ``quick`` (small, used by the test-suite and
+the default benchmark run) and ``paper`` (7 patients / 24 sessions /
+34 seizures, matching the structure of the clinical dataset).
+:mod:`repro.experiments.runner` regenerates everything in one call.
+"""
+
+from repro.experiments.data import ExperimentData, get_experiment_data
+from repro.experiments import (
+    table1_kernels,
+    fig3_correlation,
+    fig4_features,
+    fig5_svbudget,
+    fig6_bitwidth,
+    fig7_combined,
+)
+
+__all__ = [
+    "ExperimentData",
+    "get_experiment_data",
+    "table1_kernels",
+    "fig3_correlation",
+    "fig4_features",
+    "fig5_svbudget",
+    "fig6_bitwidth",
+    "fig7_combined",
+]

@@ -1,0 +1,79 @@
+"""Shared experiment data: synthetic cohort + feature matrix, with caching.
+
+Two profiles are provided:
+
+* ``quick`` — a small cohort (5 patients, 10 sessions of 40 minutes, 18
+  seizures) used by the integration tests and the default benchmark run; a
+  full sweep completes in minutes on a laptop.
+* ``paper`` — the structure of the clinical dataset (7 patients, 24 sessions
+  of one hour, 34 seizures).  Sessions are still much shorter than the
+  clinical 140 hours so that the complete reproduction remains laptop-scale;
+  the learning-problem structure (24 session folds, rare seizure windows,
+  53 correlated features) is preserved.
+
+The profile can be forced globally through the ``REPRO_PROFILE`` environment
+variable, which the benchmark harness honours.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.features.extractor import FeatureMatrix, extract_cohort_features
+from repro.signals.dataset import CohortParams, SyntheticCohort, generate_cohort
+
+__all__ = ["ExperimentData", "PROFILES", "get_experiment_data", "active_profile_name"]
+
+
+@dataclass
+class ExperimentData:
+    """A cohort and its extracted feature matrix."""
+
+    profile: str
+    cohort: SyntheticCohort
+    features: FeatureMatrix
+
+
+#: Cohort generation parameters of each profile.
+PROFILES: Dict[str, CohortParams] = {
+    "quick": CohortParams(
+        n_patients=5,
+        n_sessions=10,
+        session_duration_s=2400.0,
+        total_seizures=18,
+        seed=2019,
+    ),
+    "paper": CohortParams(
+        n_patients=7,
+        n_sessions=24,
+        session_duration_s=3600.0,
+        total_seizures=34,
+        seed=2019,
+    ),
+}
+
+_CACHE: Dict[str, ExperimentData] = {}
+
+
+def active_profile_name(default: str = "quick") -> str:
+    """Profile selected through the ``REPRO_PROFILE`` environment variable."""
+    name = os.environ.get("REPRO_PROFILE", default).strip().lower()
+    if name not in PROFILES:
+        raise ValueError(
+            "unknown REPRO_PROFILE %r (expected one of %s)" % (name, sorted(PROFILES))
+        )
+    return name
+
+
+def get_experiment_data(profile: Optional[str] = None) -> ExperimentData:
+    """Build (or fetch from cache) the cohort and features of a profile."""
+    name = profile or active_profile_name()
+    if name not in PROFILES:
+        raise ValueError("unknown profile %r (expected one of %s)" % (name, sorted(PROFILES)))
+    if name not in _CACHE:
+        cohort = generate_cohort(PROFILES[name])
+        features = extract_cohort_features(cohort)
+        _CACHE[name] = ExperimentData(profile=name, cohort=cohort, features=features)
+    return _CACHE[name]

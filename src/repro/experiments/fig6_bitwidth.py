@@ -1,0 +1,178 @@
+"""Figure 6 — GM / energy / area over the (Dbits, Abits) grid.
+
+The paper explores feature word widths (Dbits) between 7 and 11 bits and
+coefficient widths (Abits) between 13 and 17 bits, with the ten least
+significant bits discarded after the dot product and after the squarer and
+per-feature power-of-two ranges.  It selects Dbits = 9 / Abits = 15 (red
+circle in the figure), which loses about 1% GM compared to floating point,
+and reports that a homogeneously scaled pipeline needs 64 bits to match that
+GM, costing 2.4× more energy and 6.2× more area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.bitwidth_search import bitwidth_grid_search, homogeneous_width_search
+from repro.core.design_point import DesignPoint
+from repro.features.extractor import FeatureMatrix
+from repro.svm.model import SVMTrainParams
+
+__all__ = [
+    "PAPER_REFERENCE",
+    "DEFAULT_FEATURE_BITS",
+    "DEFAULT_COEFF_BITS",
+    "Fig6Result",
+    "run",
+    "format_grid",
+]
+
+#: Reference behaviour reported by the paper.
+PAPER_REFERENCE: Dict[str, float] = {
+    "selected_feature_bits": 9,
+    "selected_coeff_bits": 15,
+    "gm_loss_pct_vs_float": 1.0,
+    "homogeneous_width_for_same_gm": 64,
+    "homogeneous_energy_overhead_x": 2.4,
+    "homogeneous_area_overhead_x": 6.2,
+}
+
+#: Grid axes of the paper's Figure 6.
+DEFAULT_FEATURE_BITS: Sequence[int] = (7, 8, 9, 10, 11)
+DEFAULT_COEFF_BITS: Sequence[int] = (13, 14, 15, 16, 17)
+
+
+@dataclass
+class Fig6Result:
+    """The Figure 6 grid plus the selected point and the homogeneous baseline."""
+
+    grid_points: List[DesignPoint]
+    homogeneous_points: List[DesignPoint]
+    float_gm: float
+    selected_feature_bits: int
+    selected_coeff_bits: int
+
+    @property
+    def selected(self) -> DesignPoint:
+        for point in self.grid_points:
+            if (
+                int(point.extras.get("feature_bits", -1)) == self.selected_feature_bits
+                and int(point.extras.get("coeff_bits", -1)) == self.selected_coeff_bits
+            ):
+                return point
+        raise KeyError("selected grid point not present")
+
+    def selected_summary(self) -> Dict[str, float]:
+        selected = self.selected
+        summary = {
+            "selected_feature_bits": float(self.selected_feature_bits),
+            "selected_coeff_bits": float(self.selected_coeff_bits),
+            "gm_loss_pct_vs_float": 100.0 * (self.float_gm - selected.gm),
+            "energy_nj": selected.energy_nj,
+            "area_mm2": selected.area_mm2,
+        }
+        matching = self.matching_homogeneous_point()
+        if matching is not None:
+            summary["homogeneous_width_for_same_gm"] = float(
+                matching.extras.get("uniform_width", matching.feature_bits)
+            )
+            summary["homogeneous_energy_overhead_x"] = matching.energy_nj / selected.energy_nj
+            summary["homogeneous_area_overhead_x"] = matching.area_mm2 / selected.area_mm2
+        return summary
+
+    def matching_homogeneous_point(self, tolerance: float = 0.01) -> Optional[DesignPoint]:
+        """Smallest homogeneous width whose GM is within ``tolerance`` of the
+        selected per-feature design (None when no evaluated width reaches it)."""
+        target = self.selected.gm - tolerance
+        candidates = [p for p in self.homogeneous_points if p.gm >= target]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.extras.get("uniform_width", p.feature_bits))
+
+
+def run(
+    features: FeatureMatrix,
+    feature_bit_options: Sequence[int] = DEFAULT_FEATURE_BITS,
+    coeff_bit_options: Sequence[int] = DEFAULT_COEFF_BITS,
+    homogeneous_widths: Sequence[int] = (8, 12, 16, 24, 32, 48, 64),
+    selected_feature_bits: int = 9,
+    selected_coeff_bits: int = 15,
+    float_gm: Optional[float] = None,
+    train_params: Optional[SVMTrainParams] = None,
+    budget: Optional[int] = None,
+) -> Fig6Result:
+    """Run the Figure 6 grid search and the homogeneous-scaling baseline.
+
+    ``float_gm`` is the GM of the floating-point reference; when omitted it is
+    approximated by the best GM observed on the grid (the paper's grid
+    contains near-float points at the largest widths).
+    """
+    grid_points = bitwidth_grid_search(
+        features,
+        feature_bit_options,
+        coeff_bit_options,
+        budget=budget,
+        train_params=train_params,
+    )
+    homogeneous_points = homogeneous_width_search(
+        features,
+        homogeneous_widths,
+        budget=budget,
+        train_params=train_params,
+    )
+    if float_gm is None:
+        float_gm = max(point.gm for point in grid_points)
+    sel_d = selected_feature_bits if selected_feature_bits in feature_bit_options else list(feature_bit_options)[len(feature_bit_options) // 2]
+    sel_a = selected_coeff_bits if selected_coeff_bits in coeff_bit_options else list(coeff_bit_options)[len(coeff_bit_options) // 2]
+    return Fig6Result(
+        grid_points=grid_points,
+        homogeneous_points=homogeneous_points,
+        float_gm=float(float_gm),
+        selected_feature_bits=sel_d,
+        selected_coeff_bits=sel_a,
+    )
+
+
+def format_grid(result: Fig6Result) -> str:
+    """Text rendering of the (Dbits, Abits) surfaces."""
+    d_values = sorted({int(p.extras["feature_bits"]) for p in result.grid_points})
+    a_values = sorted({int(p.extras["coeff_bits"]) for p in result.grid_points})
+    by_coords = {
+        (int(p.extras["feature_bits"]), int(p.extras["coeff_bits"])): p for p in result.grid_points
+    }
+
+    def grid_block(title: str, getter) -> List[str]:
+        lines = [title, "%8s " % "D\\A" + " ".join("%9d" % a for a in a_values)]
+        for d in d_values:
+            cells = " ".join("%9.3f" % getter(by_coords[(d, a)]) for a in a_values)
+            lines.append("%8d %s" % (d, cells))
+        return lines
+
+    lines: List[str] = ["Figure 6: bitwidth exploration (per-feature scaling)"]
+    lines += grid_block("GM [%]:", lambda p: 100.0 * p.gm)
+    lines += grid_block("Energy [nJ]:", lambda p: p.energy_nj)
+    lines += grid_block("Area [mm2]:", lambda p: p.area_mm2)
+    lines.append("")
+    lines.append("Homogeneous (global scaling) baseline:")
+    lines.append("%8s %8s %12s %10s" % ("width", "GM %", "energy [nJ]", "area [mm2]"))
+    for point in result.homogeneous_points:
+        lines.append(
+            "%8d %8.1f %12.1f %10.4f"
+            % (
+                int(point.extras.get("uniform_width", point.feature_bits)),
+                100.0 * point.gm,
+                point.energy_nj,
+                point.area_mm2,
+            )
+        )
+    summary = result.selected_summary()
+    lines.append(
+        "selected point: Dbits=%d, Abits=%d, GM loss vs float %.1f%% (paper: ~1%%)"
+        % (
+            result.selected_feature_bits,
+            result.selected_coeff_bits,
+            summary["gm_loss_pct_vs_float"],
+        )
+    )
+    return "\n".join(lines)

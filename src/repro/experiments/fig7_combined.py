@@ -1,0 +1,88 @@
+"""Figure 7 — combined optimisation flow and uniform-width references.
+
+Left part of the paper's figure: GM / energy / area of the pipeline after each
+optimisation stage (feature reduction → + SV budgeting → + bitwidth
+reduction), normalised to the 64-bit unoptimised implementation; the combined
+gains are 12.5× energy and 16× area for a GM loss below 3.2%.  Right part:
+32-bit and 16-bit pipelines whose only optimisation is a pair of global scale
+factors; the 32-bit pipeline needs 7× more area and 4× more energy than the
+fully optimised design while losing a further 7% GM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.combined import CombinedFlowConfig, CombinedFlowResult, combined_optimisation_flow
+from repro.features.extractor import FeatureMatrix
+from repro.svm.model import SVMTrainParams
+
+__all__ = ["PAPER_REFERENCE", "Fig7Result", "run", "format_bars"]
+
+#: Headline numbers reported by the paper.
+PAPER_REFERENCE: Dict[str, float] = {
+    "energy_gain_x": 12.5,
+    "area_gain_x": 16.0,
+    "gm_loss_pct": 3.2,
+    "uniform32_area_overhead_x": 7.0,
+    "uniform32_energy_overhead_x": 4.0,
+    "uniform32_gm_penalty_pct": 7.0,
+}
+
+
+@dataclass
+class Fig7Result:
+    """Wrapper exposing the combined-flow result in Figure 7 terms."""
+
+    flow: CombinedFlowResult
+
+    @property
+    def normalised_rows(self) -> List[Dict[str, float]]:
+        return self.flow.normalised_rows()
+
+    def headline(self) -> Dict[str, float]:
+        """Measured counterparts of the paper's headline claims."""
+        gains = self.flow.headline_gains()
+        headline = {
+            "energy_gain_x": gains["energy_gain"],
+            "area_gain_x": gains["area_gain"],
+            "gm_loss_pct": 100.0 * gains["gm_loss"],
+        }
+        optimised = self.flow.fully_optimised
+        for reference in self.flow.uniform_references:
+            width = int(reference.extras.get("uniform_width", reference.feature_bits))
+            headline["uniform%d_energy_overhead_x" % width] = (
+                reference.energy_nj / optimised.energy_nj
+            )
+            headline["uniform%d_area_overhead_x" % width] = reference.area_mm2 / optimised.area_mm2
+            headline["uniform%d_gm_penalty_pct" % width] = 100.0 * (optimised.gm - reference.gm)
+        return headline
+
+
+def run(
+    features: FeatureMatrix,
+    config: Optional[CombinedFlowConfig] = None,
+    train_params: Optional[SVMTrainParams] = None,
+) -> Fig7Result:
+    """Run the combined flow with the paper's stage parameters."""
+    flow = combined_optimisation_flow(features, config=config, train_params=train_params)
+    return Fig7Result(flow=flow)
+
+
+def format_bars(result: Fig7Result) -> str:
+    """Text rendering of the normalised bars of Figure 7."""
+    lines = [
+        "Figure 7: combined optimisation flow (normalised to the 64-bit baseline)",
+        "%-26s %8s %8s %8s" % ("configuration", "GM", "energy", "area"),
+    ]
+    for row in result.normalised_rows:
+        lines.append(
+            "%-26s %8.3f %8.3f %8.3f" % (row["name"], row["gm"], row["energy"], row["area"])
+        )
+    headline = result.headline()
+    lines.append(
+        "headline: %.1fx energy, %.1fx area, GM loss %.1f%% (paper: 12.5x, 16x, 3.2%%)"
+        % (headline["energy_gain_x"], headline["area_gain_x"], headline["gm_loss_pct"])
+    )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Regenerate every table and figure of the paper in one call.
+
+``python -m repro.experiments.runner`` (or :func:`run_all`) executes the six
+experiments in sequence on the selected profile and prints the text tables;
+EXPERIMENTS.md records a captured run side-by-side with the paper's values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments import (
+    fig3_correlation,
+    fig4_features,
+    fig5_svbudget,
+    fig6_bitwidth,
+    fig7_combined,
+    table1_kernels,
+)
+from repro.experiments.data import PROFILES, get_experiment_data
+
+__all__ = ["ExperimentReport", "run_all", "main"]
+
+
+@dataclass
+class ExperimentReport:
+    """Formatted outputs of a full reproduction run."""
+
+    profile: str
+    sections: Dict[str, str]
+    elapsed_s: float
+
+    def render(self) -> str:
+        lines = [
+            "Reproduction run (profile=%s, %.1f s)" % (self.profile, self.elapsed_s),
+            "=" * 72,
+        ]
+        for title, body in self.sections.items():
+            lines.append("")
+            lines.append("### %s" % title)
+            lines.append(body)
+        return "\n".join(lines)
+
+
+def run_all(profile: Optional[str] = None, quick_sweeps: bool = False) -> ExperimentReport:
+    """Run every experiment and return the formatted report.
+
+    ``quick_sweeps`` trims the sweep axes (fewer feature counts, budgets and
+    grid points) so the whole reproduction finishes quickly; the full axes are
+    used otherwise.
+    """
+    start = time.time()
+    data = get_experiment_data(profile)
+    features = data.features
+
+    sections: Dict[str, str] = {}
+
+    rows = table1_kernels.run(features)
+    sections["Table I - kernel comparison"] = table1_kernels.format_table(rows)
+
+    summary = fig3_correlation.run(features)
+    sections["Figure 3 - correlation structure"] = fig3_correlation.format_summary(summary)
+
+    feature_counts = (53, 38, 23, 15, 8) if quick_sweeps else fig4_features.DEFAULT_FEATURE_COUNTS
+    fig4 = fig4_features.run(features, feature_counts=feature_counts)
+    sections["Figure 4 - feature-count sweep"] = fig4_features.format_series(fig4)
+
+    budgets = (120, 68, 50, 20) if quick_sweeps else fig5_svbudget.DEFAULT_BUDGETS
+    fig5 = fig5_svbudget.run(features, budgets=budgets)
+    sections["Figure 5 - SV-budget sweep"] = fig5_svbudget.format_series(fig5)
+
+    d_bits = (8, 9, 11) if quick_sweeps else fig6_bitwidth.DEFAULT_FEATURE_BITS
+    a_bits = (13, 15, 17) if quick_sweeps else fig6_bitwidth.DEFAULT_COEFF_BITS
+    widths = (12, 16, 32, 64) if quick_sweeps else (8, 12, 16, 24, 32, 48, 64)
+    fig6 = fig6_bitwidth.run(
+        features, feature_bit_options=d_bits, coeff_bit_options=a_bits, homogeneous_widths=widths
+    )
+    sections["Figure 6 - bitwidth exploration"] = fig6_bitwidth.format_grid(fig6)
+
+    fig7 = fig7_combined.run(features)
+    sections["Figure 7 - combined flow"] = fig7_combined.format_bars(fig7)
+
+    return ExperimentReport(
+        profile=data.profile, sections=sections, elapsed_s=time.time() - start
+    )
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default=None,
+        help="cohort profile (defaults to REPRO_PROFILE or 'quick')",
+    )
+    parser.add_argument(
+        "--quick-sweeps",
+        action="store_true",
+        help="trim the sweep axes for a faster run",
+    )
+    args = parser.parse_args(argv)
+    report = run_all(profile=args.profile, quick_sweeps=args.quick_sweeps)
+    print(report.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI glue
+    sys.exit(main())

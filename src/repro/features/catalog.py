@@ -1,0 +1,96 @@
+"""Catalogue of the 53 features: names, groups and index ranges.
+
+The numbering follows the paper: features 1–8 come from the heart-rate
+analysis, 9–15 from Lorenz plots, 16–24 from the auto-regressive model of the
+ECG-derived respiration (EDR) series and 25–53 from its power spectral
+density.  All public APIs in this repository use zero-based column indices;
+the catalogue records the mapping to the paper's one-based feature numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "FeatureGroup",
+    "FEATURE_GROUPS",
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "group_indices",
+    "feature_group_of",
+    "paper_feature_number",
+]
+
+
+class FeatureGroup(str, Enum):
+    """The four feature families of the paper."""
+
+    HRV = "hrv"
+    LORENZ = "lorenz"
+    AR = "ar"
+    PSD = "psd"
+
+
+#: (group, first zero-based column, last zero-based column inclusive)
+FEATURE_GROUPS: Dict[FeatureGroup, Tuple[int, int]] = {
+    FeatureGroup.HRV: (0, 7),
+    FeatureGroup.LORENZ: (8, 14),
+    FeatureGroup.AR: (15, 23),
+    FeatureGroup.PSD: (24, 52),
+}
+
+_HRV_NAMES = [
+    "hrv_mean_rr",
+    "hrv_sdnn",
+    "hrv_rmssd",
+    "hrv_pnn50",
+    "hrv_mean_hr",
+    "hrv_max_hr",
+    "hrv_cv_rr",
+    "hrv_lf_hf_ratio",
+]
+
+_LORENZ_NAMES = [
+    "lorenz_sd1",
+    "lorenz_sd2",
+    "lorenz_sd1_sd2_ratio",
+    "lorenz_ellipse_area",
+    "lorenz_csi",
+    "lorenz_cvi",
+    "lorenz_modified_csi",
+]
+
+_AR_NAMES = ["edr_ar_coeff_%d" % k for k in range(1, 10)]
+
+_PSD_NAMES = ["edr_psd_band_%02d" % k for k in range(1, 30)]
+
+#: Column-ordered feature names (zero-based index -> name).
+FEATURE_NAMES: List[str] = _HRV_NAMES + _LORENZ_NAMES + _AR_NAMES + _PSD_NAMES
+
+#: Total number of features in the baseline set.
+N_FEATURES: int = len(FEATURE_NAMES)
+
+assert N_FEATURES == 53, "the baseline feature set must contain 53 features"
+
+
+def group_indices(group: FeatureGroup) -> List[int]:
+    """Zero-based column indices belonging to a feature group."""
+    first, last = FEATURE_GROUPS[group]
+    return list(range(first, last + 1))
+
+
+def feature_group_of(index: int) -> FeatureGroup:
+    """Group of a zero-based feature column index."""
+    for group, (first, last) in FEATURE_GROUPS.items():
+        if first <= index <= last:
+            return group
+    raise IndexError("feature index %d outside 0..%d" % (index, N_FEATURES - 1))
+
+
+def paper_feature_number(index: int) -> int:
+    """The paper's one-based feature number for a zero-based column index."""
+    if not 0 <= index < N_FEATURES:
+        raise IndexError("feature index %d outside 0..%d" % (index, N_FEATURES - 1))
+    return index + 1

@@ -1,0 +1,94 @@
+"""Heart-rate-variability features (paper features 1–8).
+
+These are classical time- and frequency-domain HRV statistics computed from
+the RR intervals of a single analysis window.  Ictal tachycardia raises the
+mean heart rate and lowers the mean RR interval; the accompanying vagal
+withdrawal reduces the short-term variability measures (RMSSD, pNN50) and
+raises the LF/HF ratio — the discriminative signal exploited by the SVM.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.dsp.psd import band_power, welch_psd
+from repro.dsp.resample import resample_beats_to_uniform
+
+__all__ = ["HRV_FEATURE_NAMES", "hrv_features"]
+
+HRV_FEATURE_NAMES: List[str] = [
+    "hrv_mean_rr",
+    "hrv_sdnn",
+    "hrv_rmssd",
+    "hrv_pnn50",
+    "hrv_mean_hr",
+    "hrv_max_hr",
+    "hrv_cv_rr",
+    "hrv_lf_hf_ratio",
+]
+
+#: Classical HRV frequency bands (Hz).
+LF_BAND = (0.04, 0.15)
+HF_BAND = (0.15, 0.40)
+
+#: Resampling rate of the RR tachogram used for the spectral feature.
+_TACHOGRAM_FS = 4.0
+
+
+def hrv_features(rr_s: np.ndarray, beat_times_s: np.ndarray) -> np.ndarray:
+    """Compute the eight HRV features of one window.
+
+    Parameters
+    ----------
+    rr_s:
+        RR intervals inside the window, in seconds.
+    beat_times_s:
+        Beat times inside the window (one more element than ``rr_s`` in the
+        usual case; only the first ``len(rr_s)+1`` entries are used for the
+        tachogram resampling).
+
+    Returns
+    -------
+    ndarray of shape (8,)
+    """
+    rr = np.asarray(rr_s, dtype=float)
+    if rr.size < 4:
+        raise ValueError("need at least four RR intervals for HRV features")
+
+    mean_rr = float(np.mean(rr))
+    sdnn = float(np.std(rr, ddof=1))
+    successive = np.diff(rr)
+    rmssd = float(np.sqrt(np.mean(successive**2))) if successive.size else 0.0
+    pnn50 = float(np.mean(np.abs(successive) > 0.050)) if successive.size else 0.0
+    hr = 60.0 / rr
+    mean_hr = float(np.mean(hr))
+    max_hr = float(np.max(hr))
+    cv_rr = sdnn / mean_rr if mean_rr > 0 else 0.0
+
+    lf_hf = _lf_hf_ratio(rr, np.asarray(beat_times_s, dtype=float))
+
+    return np.array(
+        [mean_rr, sdnn, rmssd, pnn50, mean_hr, max_hr, cv_rr, lf_hf], dtype=float
+    )
+
+
+def _lf_hf_ratio(rr: np.ndarray, beat_times_s: np.ndarray) -> float:
+    """LF/HF power ratio of the RR tachogram (Welch estimate)."""
+    # Attach each RR interval to the beat that terminates it.
+    if beat_times_s.size >= rr.size + 1:
+        times = beat_times_s[1 : rr.size + 1]
+    else:
+        # Degenerate call (e.g. synthetic tests): rebuild times from the RRs.
+        times = np.cumsum(rr)
+    try:
+        _, tachogram = resample_beats_to_uniform(times, rr, fs=_TACHOGRAM_FS)
+        freqs, psd = welch_psd(tachogram, fs=_TACHOGRAM_FS, segment_length=min(256, tachogram.size))
+    except ValueError:
+        return 0.0
+    lf = band_power(freqs, psd, *LF_BAND)
+    hf = band_power(freqs, psd, *HF_BAND)
+    if hf <= 1e-12:
+        return 0.0 if lf <= 1e-12 else 50.0
+    return float(min(lf / hf, 50.0))

@@ -1,0 +1,55 @@
+"""Analytical area / energy models of the inference accelerator.
+
+The paper reports the area and the energy-per-classification of the
+accelerator of Figure 2 (SV memory → MAC1 → SQ → MAC2 → sign) obtained from
+hardware synthesis at 40 nm plus CACTI-style memory characterisation.  Neither
+a synthesis flow nor the 40 nm libraries are available here, so this package
+substitutes analytical models with the established first-order scaling laws:
+
+* array multipliers scale quadratically with operand width, adders and
+  registers linearly (:mod:`repro.hardware.arithmetic`);
+* SRAM area and per-access energy scale with capacity and word width, with a
+  fixed periphery overhead, in the spirit of CACTI (:mod:`repro.hardware.memory`);
+* the accelerator model (:mod:`repro.hardware.accelerator`) aggregates the
+  blocks according to the pipeline structure and the workload
+  (``N_SV × N_feat`` MAC1 operations, ``N_SV`` squarings and MAC2 operations
+  per classification) and adds leakage over the classification interval.
+
+The technology constants (:mod:`repro.hardware.technology`) are calibrated so
+that the paper's *baseline* configuration (53 features, unbudgeted SV set,
+64-bit datapath) lands near the paper's reported axes (~2 µJ per
+classification, ~0.4 mm²); all of the paper's claims are relative factors, and
+those are preserved by the scaling laws rather than by the calibration point.
+"""
+
+from repro.hardware.technology import TechnologyParams, TECH_40NM
+from repro.hardware.arithmetic import (
+    adder_area_um2,
+    adder_energy_pj,
+    multiplier_area_um2,
+    multiplier_energy_pj,
+    register_area_um2,
+    register_energy_pj,
+)
+from repro.hardware.memory import SramMacroModel, sram_model
+from repro.hardware.accelerator import (
+    AcceleratorConfig,
+    AcceleratorReport,
+    evaluate_accelerator,
+)
+
+__all__ = [
+    "TechnologyParams",
+    "TECH_40NM",
+    "adder_area_um2",
+    "adder_energy_pj",
+    "multiplier_area_um2",
+    "multiplier_energy_pj",
+    "register_area_um2",
+    "register_energy_pj",
+    "SramMacroModel",
+    "sram_model",
+    "AcceleratorConfig",
+    "AcceleratorReport",
+    "evaluate_accelerator",
+]

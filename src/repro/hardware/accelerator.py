@@ -1,0 +1,232 @@
+"""Area and energy model of the full inference accelerator (Figure 2).
+
+The accelerator classifies one test window as follows:
+
+1. the test feature vector is loaded into a local buffer;
+2. for every support vector, MAC1 accumulates the ``N_feat`` feature products
+   (one per cycle), the kernel offset is added and the result squared (SQ);
+3. MAC2 multiplies the kernel value by the stored ``α_i y_i`` coefficient and
+   accumulates across support vectors;
+4. the class is the sign of the final accumulator once the bias is added.
+
+The model aggregates the cost of the arithmetic blocks, the SV/coefficient
+memories, the test-vector buffer, the optional per-feature scale handling
+(scale-factor table plus barrel shifter), a fixed control overhead, and
+leakage over the classification interval.  Datapath widths are derived from
+the quantisation configuration exactly as the fixed-point functional model of
+:mod:`repro.quant.quantized_model` computes them, so functional simulation and
+cost estimation always describe the same design point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hardware.arithmetic import (
+    adder_area_um2,
+    adder_energy_pj,
+    multiplier_area_um2,
+    multiplier_energy_pj,
+    register_area_um2,
+    register_energy_pj,
+    squarer_area_um2,
+    squarer_energy_pj,
+)
+from repro.hardware.memory import sram_model
+from repro.hardware.technology import TECH_40NM, TechnologyParams
+
+__all__ = ["AcceleratorConfig", "AcceleratorReport", "evaluate_accelerator"]
+
+
+def _clog2(value: int) -> int:
+    return max(1, int(math.ceil(math.log2(max(value, 2)))))
+
+
+@dataclass
+class AcceleratorConfig:
+    """One hardware design point of the inference accelerator."""
+
+    #: Number of features per vector (after feature selection).
+    n_features: int
+    #: Number of support vectors stored in the local memory.
+    n_support_vectors: int
+    #: Bit width of the feature words (Dbits in the paper).
+    feature_bits: int = 64
+    #: Bit width of the α_i y_i coefficients (Abits in the paper).
+    coeff_bits: int = 64
+    #: Number of least-significant bits discarded after the dot product.
+    truncate_after_dot: int = 10
+    #: Number of least-significant bits discarded after the squarer.
+    truncate_after_square: int = 10
+    #: True when each feature has its own power-of-two range (needs a
+    #: scale-factor table and a barrel shifter in front of MAC1).
+    per_feature_scaling: bool = True
+    #: When set, every internal width is capped at this value, modelling a
+    #: conventional fixed-width datapath (e.g. the 64/32/16-bit pipelines of
+    #: Figure 7).  ``None`` lets the widths grow as needed.
+    datapath_cap_bits: Optional[int] = None
+    #: Bits used to store each per-feature range exponent R_j.
+    range_exponent_bits: int = 6
+
+    def __post_init__(self) -> None:
+        if self.n_features <= 0 or self.n_support_vectors <= 0:
+            raise ValueError("n_features and n_support_vectors must be positive")
+        if self.feature_bits <= 0 or self.coeff_bits <= 0:
+            raise ValueError("feature_bits and coeff_bits must be positive")
+        if self.truncate_after_dot < 0 or self.truncate_after_square < 0:
+            raise ValueError("truncation amounts cannot be negative")
+
+    # ------------------------------------------------------------ datapath
+    def _cap(self, width: int) -> int:
+        if self.datapath_cap_bits is not None:
+            return min(width, self.datapath_cap_bits)
+        return width
+
+    @property
+    def dot_accumulator_bits(self) -> int:
+        """Width of the MAC1 accumulator (before truncation)."""
+        width = 2 * self.feature_bits + _clog2(self.n_features)
+        return self._cap(max(width, 4))
+
+    @property
+    def dot_output_bits(self) -> int:
+        """Width of the dot-product value fed to the squarer."""
+        width = self.dot_accumulator_bits - self.truncate_after_dot
+        return self._cap(max(width, 4))
+
+    @property
+    def square_output_bits(self) -> int:
+        """Width of the kernel value fed to MAC2."""
+        width = 2 * self.dot_output_bits - self.truncate_after_square
+        return self._cap(max(width, 4))
+
+    @property
+    def mac2_accumulator_bits(self) -> int:
+        """Width of the MAC2 accumulator."""
+        width = self.square_output_bits + self.coeff_bits + _clog2(self.n_support_vectors)
+        return self._cap(max(width, 4))
+
+    @property
+    def cycles_per_classification(self) -> int:
+        """Cycle count of one classification (one MAC1 product per cycle)."""
+        mac1_cycles = self.n_support_vectors * self.n_features
+        kernel_cycles = 2 * self.n_support_vectors  # square + MAC2 per SV
+        return mac1_cycles + kernel_cycles + 4
+
+
+@dataclass
+class AcceleratorReport:
+    """Cost report of one accelerator design point."""
+
+    config: AcceleratorConfig
+    area_mm2: float
+    energy_nj: float
+    latency_ms: float
+    area_breakdown_um2: Dict[str, float] = field(default_factory=dict)
+    energy_breakdown_nj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def area_um2(self) -> float:
+        return self.area_mm2 * 1e6
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by the experiment tables."""
+        return {
+            "n_features": float(self.config.n_features),
+            "n_support_vectors": float(self.config.n_support_vectors),
+            "feature_bits": float(self.config.feature_bits),
+            "coeff_bits": float(self.config.coeff_bits),
+            "area_mm2": self.area_mm2,
+            "energy_nj": self.energy_nj,
+            "latency_ms": self.latency_ms,
+        }
+
+
+def evaluate_accelerator(
+    config: AcceleratorConfig, tech: TechnologyParams = TECH_40NM
+) -> AcceleratorReport:
+    """Estimate area, energy-per-classification and latency of a design point."""
+    n_sv = config.n_support_vectors
+    n_feat = config.n_features
+
+    # ------------------------------------------------------------------ area
+    area: Dict[str, float] = {}
+    sv_memory = sram_model(n_sv * n_feat, config.feature_bits, tech)
+    coeff_memory = sram_model(n_sv, config.coeff_bits, tech)
+    area["sv_memory"] = sv_memory.area_um2
+    area["coeff_memory"] = coeff_memory.area_um2
+    area["test_vector_buffer"] = register_area_um2(n_feat * config.feature_bits, tech)
+    area["mac1"] = (
+        multiplier_area_um2(config.feature_bits, config.feature_bits, tech)
+        + adder_area_um2(config.dot_accumulator_bits, tech)
+        + register_area_um2(config.dot_accumulator_bits, tech)
+    )
+    area["square"] = squarer_area_um2(config.dot_output_bits, tech) + register_area_um2(
+        config.square_output_bits, tech
+    )
+    area["mac2"] = (
+        multiplier_area_um2(config.coeff_bits, config.square_output_bits, tech)
+        + adder_area_um2(config.mac2_accumulator_bits, tech)
+        + register_area_um2(config.mac2_accumulator_bits, tech)
+    )
+    if config.per_feature_scaling:
+        scale_table = sram_model(n_feat, config.range_exponent_bits, tech)
+        # Barrel shifter ~ one mux level (FA-equivalent) per bit and stage.
+        shifter_stages = _clog2(config.dot_accumulator_bits)
+        area["scale_handling"] = scale_table.area_um2 + (
+            tech.full_adder_area_um2 * config.dot_accumulator_bits * shifter_stages
+        )
+    area["control"] = tech.control_overhead_um2
+    total_area_um2 = float(sum(area.values()))
+
+    # ---------------------------------------------------------------- energy
+    energy_pj: Dict[str, float] = {}
+    mac1_ops = n_sv * n_feat
+    energy_pj["mac1"] = mac1_ops * (
+        multiplier_energy_pj(config.feature_bits, config.feature_bits, tech)
+        + adder_energy_pj(config.dot_accumulator_bits, tech)
+        + register_energy_pj(config.dot_accumulator_bits, tech)
+    )
+    energy_pj["square"] = n_sv * (
+        squarer_energy_pj(config.dot_output_bits, tech)
+        + register_energy_pj(config.square_output_bits, tech)
+    )
+    energy_pj["mac2"] = n_sv * (
+        multiplier_energy_pj(config.coeff_bits, config.square_output_bits, tech)
+        + adder_energy_pj(config.mac2_accumulator_bits, tech)
+        + register_energy_pj(config.mac2_accumulator_bits, tech)
+    )
+    energy_pj["sv_memory"] = mac1_ops * sv_memory.read_energy_pj
+    energy_pj["coeff_memory"] = n_sv * coeff_memory.read_energy_pj
+    if config.per_feature_scaling:
+        scale_table = sram_model(n_feat, config.range_exponent_bits, tech)
+        shifter_stages = _clog2(config.dot_accumulator_bits)
+        energy_pj["scale_handling"] = mac1_ops * (
+            scale_table.read_energy_pj * 0.25  # scale exponents are tiny and cached per feature
+            + tech.full_adder_energy_pj * config.dot_accumulator_bits * shifter_stages * 0.25
+        )
+    cycles = config.cycles_per_classification
+    energy_pj["control"] = cycles * tech.cycle_overhead_energy_pj
+
+    # Leakage over the classification interval.
+    latency_s = cycles / (tech.clock_mhz * 1e6)
+    logic_area_mm2 = (total_area_um2 - sv_memory.area_um2 - coeff_memory.area_um2) * 1e-6
+    sram_area_mm2 = (sv_memory.area_um2 + coeff_memory.area_um2) * 1e-6
+    leakage_uw = (
+        tech.logic_leakage_uw_per_mm2 * logic_area_mm2
+        + tech.sram_leakage_uw_per_mm2 * sram_area_mm2
+    )
+    energy_pj["leakage"] = leakage_uw * latency_s * 1e6  # µW · s → pJ
+
+    total_energy_nj = float(sum(energy_pj.values())) * 1e-3
+
+    return AcceleratorReport(
+        config=config,
+        area_mm2=total_area_um2 * 1e-6,
+        energy_nj=total_energy_nj,
+        latency_ms=latency_s * 1e3,
+        area_breakdown_um2=area,
+        energy_breakdown_nj={k: v * 1e-3 for k, v in energy_pj.items()},
+    )

@@ -1,0 +1,88 @@
+"""CACTI-style SRAM model for the support-vector memory.
+
+The accelerator stores every support vector (``N_SV × N_feat`` feature words of
+``Dbits`` each) plus the ``α_i y_i`` coefficients (``N_SV`` words of ``Abits``)
+and, for the per-feature quantisation scheme, one small scale-factor entry per
+feature.  The paper attributes a large share of both the area and the energy
+gains to shrinking this memory; reference [14] of the paper (CACTI) is the
+classical way to estimate those costs.
+
+The model below captures the three CACTI behaviours that matter at this scale:
+
+* array area proportional to the number of bit cells plus a fixed macro
+  overhead for decoders / sense amplifiers / control;
+* per-access read energy with a fixed component, a per-bit component
+  proportional to the word width, and a component growing with total capacity
+  (longer word/bit lines);
+* leakage proportional to the macro area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.technology import TECH_40NM, TechnologyParams
+
+__all__ = ["SramMacroModel", "sram_model"]
+
+
+@dataclass(frozen=True)
+class SramMacroModel:
+    """Area / energy / leakage figures of one SRAM macro."""
+
+    capacity_bits: int
+    word_bits: int
+    area_um2: float
+    read_energy_pj: float
+    leakage_uw: float
+
+    @property
+    def capacity_kbit(self) -> float:
+        return self.capacity_bits / 1024.0
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 * 1e-6
+
+
+def sram_model(
+    n_words: int,
+    word_bits: int,
+    tech: TechnologyParams = TECH_40NM,
+) -> SramMacroModel:
+    """Build the SRAM macro model for a memory of ``n_words`` × ``word_bits``.
+
+    Parameters
+    ----------
+    n_words:
+        Number of addressable words (e.g. ``N_SV × N_feat`` for the SV
+        feature memory).
+    word_bits:
+        Width of each word in bits.
+
+    Returns
+    -------
+    :class:`SramMacroModel`
+    """
+    n_words = int(n_words)
+    word_bits = int(word_bits)
+    if n_words <= 0 or word_bits <= 0:
+        raise ValueError("n_words and word_bits must be positive")
+
+    capacity_bits = n_words * word_bits
+    area_um2 = (
+        tech.sram_macro_overhead_um2 + tech.sram_bit_area_um2 * capacity_bits
+    )
+    read_energy_pj = (
+        tech.sram_access_energy_pj
+        + tech.sram_bit_read_energy_pj * word_bits
+        + tech.sram_capacity_energy_pj_per_kbit * (capacity_bits / 1024.0)
+    )
+    leakage_uw = tech.sram_leakage_uw_per_mm2 * (area_um2 * 1e-6)
+    return SramMacroModel(
+        capacity_bits=capacity_bits,
+        word_bits=word_bits,
+        area_um2=area_um2,
+        read_energy_pj=read_energy_pj,
+        leakage_uw=leakage_uw,
+    )

@@ -1,0 +1,68 @@
+"""Technology constants of the 40 nm cost model.
+
+The constants below are first-order figures representative of a low-power
+40 nm CMOS process running at a modest clock (tens of MHz) and near-threshold
+friendly supply, calibrated such that the paper's baseline accelerator
+configuration (53 features, ~120 support vectors, 64-bit datapath) lands close
+to the values readable from the paper's figures (~2 µJ per classification and
+~0.4 mm²).  All downstream results are ratios between configurations, which
+depend on the scaling laws (operand widths, operation counts, memory capacity)
+rather than on the absolute calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyParams", "TECH_40NM"]
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Per-technology cost coefficients used by the analytical models."""
+
+    name: str = "generic-40nm"
+
+    # ------------------------------------------------------------------ area
+    #: Area of one full-adder-equivalent cell (µm²).
+    full_adder_area_um2: float = 4.0
+    #: Area of one flip-flop / register bit (µm²).
+    register_bit_area_um2: float = 3.0
+    #: SRAM bit-cell area including local periphery amortisation (µm²/bit).
+    sram_bit_area_um2: float = 0.75
+    #: Fixed SRAM macro overhead (decoders, sense amplifiers, control), µm².
+    sram_macro_overhead_um2: float = 1500.0
+    #: Fixed control / FSM / glue logic of the accelerator, µm².
+    control_overhead_um2: float = 2500.0
+
+    # ---------------------------------------------------------------- energy
+    #: Switching energy of one full-adder-equivalent cell per operation (pJ).
+    full_adder_energy_pj: float = 0.045
+    #: Clock and data switching energy of one register bit per cycle (pJ).
+    register_bit_energy_pj: float = 0.002
+    #: Fixed per-cycle energy of the control FSM, clock tree and I/O that does
+    #: not shrink with the datapath width (pJ / cycle).
+    cycle_overhead_energy_pj: float = 50.0
+    #: SRAM read energy: per-access fixed part (pJ).
+    sram_access_energy_pj: float = 2.0
+    #: SRAM read energy: per-bit part (pJ / bit read).
+    sram_bit_read_energy_pj: float = 0.08
+    #: SRAM read energy growth with capacity (pJ per access per kbit), a
+    #: CACTI-like wordline/bitline loading term.
+    sram_capacity_energy_pj_per_kbit: float = 0.030
+
+    # --------------------------------------------------------------- leakage
+    #: Leakage power density (µW / mm²) of logic at the operating corner.
+    logic_leakage_uw_per_mm2: float = 150.0
+    #: Leakage power density (µW / mm²) of SRAM.
+    sram_leakage_uw_per_mm2: float = 300.0
+
+    # ---------------------------------------------------------------- timing
+    #: Clock frequency of the accelerator (MHz).  One MAC1 operation is
+    #: scheduled per cycle, so a classification takes about
+    #: ``N_SV × N_feat`` cycles.
+    clock_mhz: float = 10.0
+
+
+#: Default technology used throughout the reproduction.
+TECH_40NM = TechnologyParams()

@@ -1,0 +1,45 @@
+"""Fixed-point quantisation of the SVM inference pipeline.
+
+This package implements the third approximation technique of the paper
+("Reducing bitwidths") as a bit-accurate functional model of the accelerator
+datapath:
+
+* :mod:`repro.quant.fixed_point` — elementary quantisation helpers
+  (power-of-two scales, rounding, saturation, truncation);
+* :mod:`repro.quant.ranges` — per-feature range exponents ``R_j`` selected
+  from the mean ± standard deviation of the support-vector values
+  (Equation 6 of the paper), plus the single global exponent used by the
+  homogeneous-scaling baseline of Figure 7;
+* :mod:`repro.quant.quantized_model` — :class:`~repro.quant.quantized_model.QuantizedSVM`,
+  an integer-only implementation of the quadratic-kernel pipeline
+  (MAC1 → truncate → +1 → square → truncate → MAC2 → bias → sign) that mirrors
+  the hardware datapath of Figure 2 and exposes the matching
+  :class:`~repro.hardware.accelerator.AcceleratorConfig`.
+"""
+
+from repro.quant.fixed_point import (
+    quantize_to_int,
+    saturate,
+    scale_for_exponent,
+    truncate_lsbs,
+)
+from repro.quant.ranges import (
+    RangeSelection,
+    coefficient_range_exponent,
+    feature_range_exponents,
+    global_range_exponent,
+)
+from repro.quant.quantized_model import QuantizationConfig, QuantizedSVM
+
+__all__ = [
+    "quantize_to_int",
+    "saturate",
+    "scale_for_exponent",
+    "truncate_lsbs",
+    "RangeSelection",
+    "feature_range_exponents",
+    "global_range_exponent",
+    "coefficient_range_exponent",
+    "QuantizationConfig",
+    "QuantizedSVM",
+]

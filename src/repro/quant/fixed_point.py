@@ -1,0 +1,79 @@
+"""Elementary fixed-point helpers.
+
+All quantities in the accelerator datapath are signed integers with an
+associated power-of-two scale: a real value ``v`` is represented by the
+integer ``q = round(v / scale)`` saturated to the word width, so that
+``v ≈ q · scale``.  Keeping every scale a power of two is what lets the
+hardware re-align values with shift operations instead of dividers (Section
+III of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["scale_for_exponent", "saturate", "quantize_to_int", "truncate_lsbs", "int_bounds"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def int_bounds(bits: int) -> tuple[int, int]:
+    """(minimum, maximum) representable value of a signed ``bits``-wide word."""
+    if bits < 2:
+        raise ValueError("a signed word needs at least two bits")
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+def scale_for_exponent(range_exponent: int, bits: int) -> float:
+    """LSB weight of a signed ``bits``-wide word covering ``[-2^R, 2^R)``.
+
+    The paper keeps, for feature ``j``, the bits of weight
+    ``2^(R_j - 1) … 2^(R_j - Dbits)`` plus the sign; equivalently the word is a
+    signed integer whose LSB weighs ``2^(R_j - bits + 1)``.
+    """
+    if bits < 2:
+        raise ValueError("a signed word needs at least two bits")
+    return float(2.0 ** (range_exponent - bits + 1))
+
+
+def saturate(values: ArrayLike, bits: int) -> np.ndarray:
+    """Clamp integer values to the range of a signed ``bits``-wide word."""
+    lo, hi = int_bounds(bits)
+    arr = np.asarray(values)
+    return np.clip(arr, lo, hi)
+
+
+def quantize_to_int(values: ArrayLike, scale: float, bits: int) -> np.ndarray:
+    """Round real values to the nearest representable integer and saturate.
+
+    Values whose magnitude exceeds the representable range are saturated to
+    the admissible maximum / minimum, exactly as the paper prescribes for
+    features exceeding their ``[-2^R_j, 2^R_j]`` range.
+    """
+    if scale <= 0.0:
+        raise ValueError("scale must be positive")
+    arr = np.asarray(values, dtype=float)
+    q = np.round(arr / scale)
+    q = saturate(q, bits)
+    # Use object dtype beyond the int64 range so arbitrarily wide words stay exact.
+    if bits <= 62:
+        return q.astype(np.int64)
+    return np.array([int(v) for v in np.ravel(q)], dtype=object).reshape(q.shape)
+
+
+def truncate_lsbs(value: Union[int, np.ndarray], n_bits: int) -> Union[int, np.ndarray]:
+    """Discard the ``n_bits`` least significant bits (arithmetic shift right).
+
+    This models the hardware truncation applied after the dot product and
+    after the squarer; the arithmetic shift keeps the sign of negative values
+    (floor division by ``2**n_bits``).
+    """
+    if n_bits < 0:
+        raise ValueError("n_bits cannot be negative")
+    if n_bits == 0:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value) >> n_bits
+    return np.asarray(value) >> n_bits

@@ -1,0 +1,246 @@
+"""Bit-accurate fixed-point model of the quadratic-kernel inference pipeline.
+
+:class:`QuantizedSVM` converts a trained float :class:`~repro.svm.model.SVMModel`
+with a quadratic kernel into the integer-only datapath of the accelerator in
+Figure 2 of the paper:
+
+1. every feature ``j`` is a signed ``Dbits``-wide integer with a power-of-two
+   LSB weight derived from its range exponent ``R_j`` (per-feature scaling) or
+   from a single shared exponent (homogeneous scaling);
+2. MAC1 accumulates the per-feature products, each re-aligned with a left
+   shift of ``2·(R_j − R_min)`` so that all partial products share the scale
+   of the least-significant feature; the accumulator then drops
+   ``truncate_after_dot`` LSBs;
+3. the kernel offset (+1) is added as an integer in the accumulator scale and
+   the result is squared, after which ``truncate_after_square`` LSBs are
+   dropped;
+4. MAC2 multiplies by the quantised ``α_i y_i`` coefficients (``Abits`` wide),
+   accumulates over support vectors and adds the quantised bias;
+5. the predicted class is the sign of the final accumulator.
+
+Every step uses integer arithmetic only.  A vectorised ``int64`` fast path is
+used whenever the worst-case bit growth provably fits; otherwise the pipeline
+falls back to exact Python integers, so arbitrarily wide reference datapaths
+(e.g. the 64-bit baseline of Figure 7) remain bit-exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.quant.fixed_point import quantize_to_int, scale_for_exponent
+from repro.quant.ranges import (
+    coefficient_range_exponent,
+    feature_range_exponents,
+    global_range_exponent,
+)
+from repro.svm.kernels import PolynomialKernel
+from repro.svm.model import SVMModel
+
+__all__ = ["QuantizationConfig", "QuantizedSVM"]
+
+
+@dataclass
+class QuantizationConfig:
+    """Quantisation parameters of one fixed-point design point."""
+
+    #: Bits used to represent each feature value (Dbits in the paper).
+    feature_bits: int = 9
+    #: Bits used to represent each α_i y_i coefficient (Abits in the paper).
+    coeff_bits: int = 15
+    #: LSBs discarded after the dot product.
+    truncate_after_dot: int = 10
+    #: LSBs discarded after the squarer.
+    truncate_after_square: int = 10
+    #: Per-feature power-of-two ranges (True) or one global range (False).
+    per_feature_scaling: bool = True
+    #: Half-width of the feature ranges in standard deviations of the SV set
+    #: (see :data:`repro.quant.ranges.DEFAULT_RANGE_SIGMA`).
+    range_margin_sigma: float = 3.0
+    #: Width label of a conventional fixed-width datapath (the 64/32/16-bit
+    #: pipelines of Figure 7).  It only affects the *hardware cost model*
+    #: (the datapath is sized to this width); functionally the accumulators
+    #: are given full headroom, as any sane fixed-point design allocates
+    #: integer bits so that intermediate results never overflow.
+    datapath_cap_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.feature_bits < 2 or self.coeff_bits < 2:
+            raise ValueError("feature_bits and coeff_bits must be at least 2")
+        if self.truncate_after_dot < 0 or self.truncate_after_square < 0:
+            raise ValueError("truncation amounts cannot be negative")
+
+
+class QuantizedSVM:
+    """Integer-only implementation of the quadratic-kernel SVM pipeline."""
+
+    def __init__(self, model: SVMModel, config: Optional[QuantizationConfig] = None) -> None:
+        if config is None:
+            config = QuantizationConfig()
+        kernel = model.kernel
+        if not isinstance(kernel, PolynomialKernel) or kernel.degree != 2:
+            raise ValueError("the fixed-point pipeline implements the quadratic kernel only")
+        if abs(kernel.gamma - 1.0) > 1e-12 or abs(kernel.coef0 - 1.0) > 1e-12:
+            raise ValueError("the quadratic kernel must be (x·y + 1)^2 (gamma=1, coef0=1)")
+
+        self.model = model
+        self.config = config
+
+        sv = model.scaled_support_vectors()
+        self.n_support_vectors, self.n_features = sv.shape
+
+        # ----------------------------------------------------- feature ranges
+        if config.per_feature_scaling:
+            self.range_exponents = feature_range_exponents(sv, config.range_margin_sigma)
+        else:
+            self.range_exponents = np.full(
+                self.n_features,
+                global_range_exponent(sv, config.range_margin_sigma),
+                dtype=int,
+            )
+        self.feature_scales = np.array(
+            [scale_for_exponent(r, config.feature_bits) for r in self.range_exponents]
+        )
+
+        # Shift that re-aligns each feature product to the scale of the
+        # smallest exponent (implemented as a barrel shifter in hardware).
+        r_min = int(np.min(self.range_exponents))
+        self.product_shifts = 2 * (self.range_exponents - r_min)
+        #: Real value of one LSB of the MAC1 accumulator before truncation.
+        self.dot_scale = float(
+            2.0 ** (2 * (r_min - config.feature_bits + 1))
+        )
+        #: Real value of one LSB of the dot product after truncation.
+        self.dot_scale_truncated = self.dot_scale * (2.0**config.truncate_after_dot)
+        #: Real value of one LSB of the kernel value after squaring + truncation.
+        self.kernel_scale = (self.dot_scale_truncated**2) * (
+            2.0**config.truncate_after_square
+        )
+
+        # --------------------------------------------------------- constants
+        self.sv_int = self._quantize_features(sv)
+        self.kernel_offset_int = int(round(1.0 / self.dot_scale_truncated))
+
+        # ------------------------------------------------------ coefficients
+        self.coeff_exponent = coefficient_range_exponent(model.dual_coef)
+        self.coeff_scale = scale_for_exponent(self.coeff_exponent, config.coeff_bits)
+        self.coeff_int = quantize_to_int(model.dual_coef, self.coeff_scale, config.coeff_bits)
+
+        #: Real value of one LSB of the MAC2 accumulator.
+        self.output_scale = self.coeff_scale * self.kernel_scale
+        self.bias_int = int(round(model.bias / self.output_scale))
+
+        self._use_fast_path = self._fits_int64()
+
+    # ------------------------------------------------------------------ API
+    def _quantize_features(self, values: np.ndarray) -> np.ndarray:
+        """Quantise a feature matrix column-by-column with the feature scales."""
+        values = np.atleast_2d(np.asarray(values, dtype=float))
+        columns = [
+            quantize_to_int(values[:, j], self.feature_scales[j], self.config.feature_bits)
+            for j in range(self.n_features)
+        ]
+        out = np.stack(columns, axis=1)
+        return out
+
+    def quantize_input(self, X: np.ndarray) -> np.ndarray:
+        """Quantise raw test vectors exactly as the accelerator front-end does.
+
+        The model's scaler (fitted at training time) is applied first — it is
+        part of the feature-extraction stage, not of the inference
+        accelerator — then each feature is rounded to its fixed-point grid and
+        saturated to its ``[-2^{R_j}, 2^{R_j})`` range.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.n_features:
+            raise ValueError("expected %d features, got %d" % (self.n_features, X.shape[1]))
+        if self.model.scaler is not None:
+            X = self.model.scaler.transform(X)
+        return self._quantize_features(X)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Approximate real-valued decision score implied by the integer pipeline."""
+        acc = self._accumulate(self.quantize_input(X))
+        return np.asarray([float(v) for v in acc], dtype=float) * self.output_scale
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class labels in ``{-1, +1}`` from the integer pipeline (sign bit)."""
+        acc = self._accumulate(self.quantize_input(X))
+        return np.asarray([1 if v >= 0 else -1 for v in acc], dtype=int)
+
+    def accelerator_config(self) -> AcceleratorConfig:
+        """Hardware design point matching this functional model."""
+        return AcceleratorConfig(
+            n_features=self.n_features,
+            n_support_vectors=self.n_support_vectors,
+            feature_bits=self.config.feature_bits,
+            coeff_bits=self.config.coeff_bits,
+            truncate_after_dot=self.config.truncate_after_dot,
+            truncate_after_square=self.config.truncate_after_square,
+            per_feature_scaling=self.config.per_feature_scaling,
+            datapath_cap_bits=self.config.datapath_cap_bits,
+        )
+
+    # ------------------------------------------------------------- pipeline
+    def _fits_int64(self) -> bool:
+        """Conservative worst-case bit-growth check for the int64 fast path."""
+        d = self.config.feature_bits
+        product_bits = 2 * d + int(np.max(self.product_shifts, initial=0))
+        acc1_bits = product_bits + math.ceil(math.log2(max(self.n_features, 2)))
+        dot_bits = max(acc1_bits - self.config.truncate_after_dot, 2)
+        offset_bits = max(self.kernel_offset_int.bit_length() + 1, 2)
+        sum_bits = max(dot_bits, offset_bits) + 1
+        square_bits = 2 * sum_bits - self.config.truncate_after_square
+        acc2_bits = (
+            square_bits
+            + self.config.coeff_bits
+            + math.ceil(math.log2(max(self.n_support_vectors, 2)))
+        )
+        bias_bits = max(abs(self.bias_int).bit_length() + 1, 2)
+        worst = max(acc1_bits, square_bits, acc2_bits, bias_bits) + 1
+        return worst <= 62
+
+    def _accumulate(self, q_test: np.ndarray):
+        """Run the integer pipeline for every (already quantised) test row."""
+        if self._use_fast_path:
+            return self._accumulate_int64(q_test)
+        return self._accumulate_exact(q_test)
+
+    def _accumulate_int64(self, q_test: np.ndarray) -> np.ndarray:
+        shifts = self.product_shifts.astype(np.int64)
+        sv_shifted = (self.sv_int.astype(np.int64)) << shifts[None, :]
+        q_test = q_test.astype(np.int64)
+        acc1 = q_test @ sv_shifted.T  # (n_test, n_sv)
+        dot = acc1 >> self.config.truncate_after_dot
+        summed = dot + np.int64(self.kernel_offset_int)
+        squared = summed * summed
+        kernel_int = squared >> self.config.truncate_after_square
+        acc2 = kernel_int @ self.coeff_int.astype(np.int64)
+        return acc2 + np.int64(self.bias_int)
+
+    def _accumulate_exact(self, q_test: np.ndarray) -> list:
+        """Exact arbitrary-precision path (used by very wide datapaths)."""
+        trunc1 = self.config.truncate_after_dot
+        trunc2 = self.config.truncate_after_square
+        shifts = [int(s) for s in self.product_shifts]
+        sv_rows = [[int(v) for v in row] for row in np.asarray(self.sv_int)]
+        coeffs = [int(c) for c in np.asarray(self.coeff_int)]
+        results = []
+        for row in np.asarray(q_test):
+            test_ints = [int(v) for v in row]
+            acc2 = 0
+            for sv_row, coeff in zip(sv_rows, coeffs):
+                acc1 = 0
+                for t, s, shift in zip(test_ints, sv_row, shifts):
+                    acc1 += (t * s) << shift
+                dot = acc1 >> trunc1
+                summed = dot + self.kernel_offset_int
+                kernel_int = (summed * summed) >> trunc2
+                acc2 = acc2 + coeff * kernel_int
+            results.append(acc2 + self.bias_int)
+        return results

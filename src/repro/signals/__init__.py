@@ -1,0 +1,52 @@
+"""Synthetic ECG / cohort substrate.
+
+The paper evaluates on a proprietary clinical dataset (7 patients, 140 hours
+of ECG, 34 focal seizures recorded in an epilepsy monitoring unit).  That
+dataset is not publicly available, so this package provides a synthetic
+substitute with the same *structure*:
+
+* a cohort of patients, each with several recording sessions,
+* continuous RR-interval (heart beat) sequences whose autonomic dynamics are
+  perturbed during seizure episodes (ictal tachycardia, reduced short-term
+  variability, altered respiratory coupling),
+* an associated respiration signal and a synthetic single-lead ECG waveform,
+* expert-style seizure annotations, and
+* three-minute analysis windows labelled seizure / non-seizure.
+
+Everything downstream (feature extraction, SVM training, the approximation
+techniques and the hardware cost models) operates on this substrate exactly as
+it would on the clinical recordings.
+"""
+
+from repro.signals.rr_model import RRModelParams, generate_rr_series
+from repro.signals.respiration import RespirationParams, generate_respiration
+from repro.signals.seizures import Seizure, SeizureScheduleParams, schedule_seizures
+from repro.signals.ecg_model import ECGWaveformParams, synthesize_ecg
+from repro.signals.dataset import (
+    CohortParams,
+    Patient,
+    Recording,
+    SyntheticCohort,
+    generate_cohort,
+)
+from repro.signals.windows import Window, WindowingParams, extract_windows
+
+__all__ = [
+    "RRModelParams",
+    "generate_rr_series",
+    "RespirationParams",
+    "generate_respiration",
+    "Seizure",
+    "SeizureScheduleParams",
+    "schedule_seizures",
+    "ECGWaveformParams",
+    "synthesize_ecg",
+    "CohortParams",
+    "Patient",
+    "Recording",
+    "SyntheticCohort",
+    "generate_cohort",
+    "Window",
+    "WindowingParams",
+    "extract_windows",
+]

@@ -1,0 +1,197 @@
+"""Respiration model used to drive respiratory sinus arrhythmia and EDR.
+
+The paper's feature set includes two groups of features computed from the
+ECG-Derived Respiration (EDR) time series: the coefficients of its
+auto-regressive model and its power spectral density in several bands.  To
+exercise those code paths the synthetic cohort needs a realistic respiration
+process whose rate and depth change during seizures (ictal tachypnea /
+irregular breathing is a well-documented autonomic signature of focal
+seizures).
+
+The model produces, on a uniform time grid:
+
+* the instantaneous breathing rate (Hz),
+* the instantaneous breathing depth (arbitrary units, around 1.0), and
+* the respiration waveform itself (a phase-coherent oscillation).
+
+The waveform modulates both the RR series (respiratory sinus arrhythmia) and
+the R-wave amplitude of the synthetic ECG (amplitude-based EDR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.signals.seizures import Seizure
+
+__all__ = ["RespirationParams", "RespirationSignal", "generate_respiration"]
+
+
+@dataclass
+class RespirationParams:
+    """Parameters of the synthetic respiration process."""
+
+    #: Baseline breathing frequency in Hz (about 15 breaths per minute).
+    base_rate_hz: float = 0.25
+    #: Slow random drift of the breathing rate (standard deviation, Hz).
+    rate_drift_hz: float = 0.02
+    #: Correlation time of the rate drift in seconds.
+    rate_drift_tau_s: float = 120.0
+    #: Baseline breathing depth.
+    base_depth: float = 1.0
+    #: Standard deviation of the slow depth drift.
+    depth_drift: float = 0.1
+    #: Multiplicative increase of the breathing rate at the ictal peak.
+    ictal_rate_gain: float = 1.5
+    #: Multiplicative change of the breathing depth at the ictal peak
+    #: (breathing becomes shallower / more irregular).
+    ictal_depth_gain: float = 0.6
+    #: Extra breath-by-breath irregularity injected during seizures.
+    ictal_jitter: float = 0.15
+    #: Multiplicative increase of the breathing rate during non-ictal arousal
+    #: episodes (movement, exertion) — milder than the ictal response.
+    arousal_rate_gain: float = 1.25
+    #: Multiplicative change of the breathing depth during arousals (breathing
+    #: gets *deeper* with exertion, unlike the shallow ictal pattern).
+    arousal_depth_gain: float = 1.2
+    #: Sampling rate of the generated respiration signals (Hz).
+    fs: float = 4.0
+
+
+@dataclass
+class RespirationSignal:
+    """Respiration process sampled on a uniform grid."""
+
+    t: np.ndarray
+    rate_hz: np.ndarray
+    depth: np.ndarray
+    waveform: np.ndarray
+    fs: float
+
+    def value_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Linearly interpolate the waveform at arbitrary time instants."""
+        return np.interp(times_s, self.t, self.waveform)
+
+    def depth_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Linearly interpolate the breathing depth at arbitrary time instants."""
+        return np.interp(times_s, self.t, self.depth)
+
+
+def seizure_envelope(
+    t: np.ndarray, seizures: Sequence[Seizure], use_intensity: bool = False
+) -> np.ndarray:
+    """Smooth 0..1 envelope describing how 'ictal' each time instant is.
+
+    The envelope ramps up during the pre-ictal phase, stays at its plateau
+    during the ictal phase and decays exponentially during the post-ictal
+    phase.  It is shared between the respiration and RR models so that cardiac
+    and respiratory disturbances stay synchronised, as they are
+    physiologically.
+
+    Parameters
+    ----------
+    use_intensity:
+        When True, each seizure's plateau is scaled by its ``intensity``
+        attribute.  The heart-*rate* response uses the intensity-weighted
+        envelope (tachycardia strength varies between seizures), while the
+        variability suppression uses the unweighted one (even weak seizures
+        suppress beat-to-beat variability).
+    """
+    envelope = np.zeros_like(t, dtype=float)
+    for seizure in seizures:
+        contribution = np.zeros_like(t, dtype=float)
+        pre_len = max(seizure.preictal_s, 1e-6)
+        post_len = max(seizure.postictal_s, 1e-6)
+
+        pre_mask = (t >= seizure.disturbance_start_s) & (t < seizure.onset_s)
+        ramp = (t[pre_mask] - seizure.disturbance_start_s) / pre_len
+        contribution[pre_mask] = 0.5 * (1.0 - np.cos(np.pi * ramp))
+
+        ictal_mask = (t >= seizure.onset_s) & (t < seizure.offset_s)
+        contribution[ictal_mask] = 1.0
+
+        post_mask = (t >= seizure.offset_s) & (t < seizure.disturbance_end_s)
+        decay = (t[post_mask] - seizure.offset_s) / post_len
+        contribution[post_mask] = np.exp(-3.0 * decay)
+
+        if use_intensity:
+            contribution *= float(getattr(seizure, "intensity", 1.0))
+        envelope = np.maximum(envelope, contribution)
+    return envelope
+
+
+def _ou_process(
+    n: int, dt: float, tau_s: float, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Ornstein-Uhlenbeck process used for slow physiological drifts."""
+    x = np.zeros(n)
+    if tau_s <= 0:
+        return x
+    alpha = np.exp(-dt / tau_s)
+    noise_scale = sigma * np.sqrt(1.0 - alpha**2)
+    for i in range(1, n):
+        x[i] = alpha * x[i - 1] + noise_scale * rng.standard_normal()
+    return x
+
+
+def generate_respiration(
+    duration_s: float,
+    seizures: Sequence[Seizure],
+    rng: np.random.Generator,
+    params: RespirationParams | None = None,
+    arousals: Sequence[Seizure] = (),
+) -> RespirationSignal:
+    """Generate the respiration process for one recording session.
+
+    Parameters
+    ----------
+    duration_s:
+        Session length in seconds.
+    seizures:
+        Annotated seizures of the session; they raise the breathing rate and
+        reduce its depth through the shared seizure envelope.
+    rng:
+        NumPy random generator.
+    params:
+        Respiration model parameters.
+    arousals:
+        Non-ictal arousal episodes (movement, exertion); they raise the
+        breathing rate moderately and make breathing *deeper*, unlike the
+        shallow, irregular ictal pattern.
+
+    Returns
+    -------
+    :class:`RespirationSignal`
+    """
+    if params is None:
+        params = RespirationParams()
+    fs = params.fs
+    n = int(np.ceil(duration_s * fs)) + 1
+    t = np.arange(n) / fs
+    dt = 1.0 / fs
+
+    envelope = seizure_envelope(t, seizures)
+    arousal_env = seizure_envelope(t, arousals, use_intensity=True) if len(arousals) else np.zeros_like(t)
+
+    rate_drift = _ou_process(n, dt, params.rate_drift_tau_s, params.rate_drift_hz, rng)
+    rate = params.base_rate_hz + rate_drift
+    rate *= 1.0 + (params.ictal_rate_gain - 1.0) * envelope
+    rate *= 1.0 + (params.arousal_rate_gain - 1.0) * arousal_env
+    rate = np.clip(rate, 0.1, 0.8)
+
+    depth_drift = _ou_process(n, dt, params.rate_drift_tau_s, params.depth_drift, rng)
+    depth = params.base_depth + depth_drift
+    depth *= 1.0 + (params.ictal_depth_gain - 1.0) * envelope
+    depth *= 1.0 + (params.arousal_depth_gain - 1.0) * arousal_env
+    # Breath-by-breath irregularity, stronger during seizures.
+    depth *= 1.0 + params.ictal_jitter * envelope * rng.standard_normal(n) * 0.3
+    depth = np.clip(depth, 0.2, 2.5)
+
+    # Integrate the instantaneous rate to get a coherent respiratory phase.
+    phase = 2.0 * np.pi * np.cumsum(rate) * dt
+    waveform = depth * np.sin(phase)
+
+    return RespirationSignal(t=t, rate_hz=rate, depth=depth, waveform=waveform, fs=fs)

@@ -1,0 +1,278 @@
+"""RR-interval (heart beat) generator with seizure-driven autonomic response.
+
+The detector studied in the paper works on features derived from the heart
+rate (HRV statistics, Lorenz-plot descriptors) and from the ECG-derived
+respiration signal.  The physiological signatures it relies on are:
+
+* **ictal tachycardia** — heart rate rises sharply around seizure onset,
+* **reduced short-term variability** — vagally mediated beat-to-beat
+  variability (RMSSD, the HF band, the Poincaré SD1 axis) collapses during
+  the ictal phase,
+* **shifted sympatho-vagal balance** — the LF/HF ratio increases,
+* **altered respiratory coupling** — respiratory sinus arrhythmia weakens
+  while the breathing rate rises.
+
+The generator implements an Integral Pulse Frequency Modulation (IPFM) model:
+an instantaneous heart-rate signal is built on a uniform grid from baseline
+dynamics (Mayer waves, respiratory sinus arrhythmia, fractal drift) modulated
+by the seizure envelope, and beats are emitted whenever its running integral
+crosses an integer.  The result is a physiologically plausible, irregularly
+sampled sequence of beat times and RR intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.signals.respiration import RespirationSignal, seizure_envelope
+from repro.signals.seizures import Seizure
+
+__all__ = ["RRModelParams", "RRSeries", "generate_rr_series"]
+
+
+@dataclass
+class RRModelParams:
+    """Parameters of the autonomic RR-interval model."""
+
+    #: Baseline heart rate in beats per minute.
+    base_hr_bpm: float = 72.0
+    #: Patient-to-patient spread of the baseline heart rate (bpm).  A large
+    #: spread means an absolute heart-rate threshold cannot separate seizures
+    #: across patients, as in the clinical cohort.
+    hr_between_patient_sd: float = 10.0
+    #: Amplitude of the low-frequency (Mayer wave, ~0.1 Hz) oscillation as a
+    #: fraction of the mean heart rate.
+    lf_amplitude: float = 0.03
+    #: Centre frequency of the LF oscillation (Hz).
+    lf_frequency_hz: float = 0.095
+    #: Amplitude of respiratory sinus arrhythmia as a fraction of the mean
+    #: heart rate (this is the HF band of HRV).
+    rsa_amplitude: float = 0.045
+    #: Standard deviation of the slow fractal/OU drift of the heart rate,
+    #: as a fraction of the mean heart rate.
+    drift_amplitude: float = 0.05
+    #: Correlation time of the drift (seconds).
+    drift_tau_s: float = 300.0
+    #: White beat-scale jitter as a fraction of the mean heart rate.
+    jitter_amplitude: float = 0.01
+    #: Multiplicative heart-rate increase at the ictal peak (1.30 = +30%) for a
+    #: full-intensity seizure in a patient with a rate-dominant autonomic
+    #: response; weaker seizures and HRV-dominant patients scale this down.
+    ictal_hr_gain: float = 1.30
+    #: Residual fraction of RSA amplitude retained at the ictal peak.
+    ictal_rsa_suppression: float = 0.30
+    #: Residual fraction of the LF amplitude retained at the ictal peak
+    #: (sympathetic activation keeps LF comparatively high).
+    ictal_lf_suppression: float = 0.8
+    #: Multiplicative heart-rate increase at the peak of a non-ictal arousal
+    #: episode (movement / exertion).  Comparable to a weak seizure in rate,
+    #: but *without* the suppression of beat-to-beat variability.
+    arousal_hr_gain: float = 1.28
+    #: RSA amplitude multiplier during arousals (deeper breathing slightly
+    #: increases respiratory sinus arrhythmia).
+    arousal_rsa_gain: float = 1.1
+    #: Heart-rate increase at the peak of a stress / vagal-withdrawal episode
+    #: (modest compared to seizures and arousals).
+    stress_hr_gain: float = 1.08
+    #: Residual fraction of RSA retained at the peak of a stress episode
+    #: (vagal withdrawal without the full ictal signature).
+    stress_rsa_suppression: float = 0.5
+    #: Probability that any given beat is an ectopic (premature) beat; the
+    #: following beat shows a compensatory pause.  Ectopy corrupts the
+    #: short-term variability features of the affected windows, which is a
+    #: major noise source for wearable-ECG analytics.
+    ectopic_rate: float = 0.004
+    #: Fractional prematurity of an ectopic beat (0.35 = 35% early).
+    ectopic_prematurity: float = 0.35
+    #: Sampling rate of the internal instantaneous heart-rate grid (Hz).
+    fs: float = 4.0
+
+
+@dataclass
+class RRSeries:
+    """Beat sequence produced by the IPFM model.
+
+    Attributes
+    ----------
+    beat_times_s:
+        Time of each detected beat (R peak), in seconds from session start.
+    rr_s:
+        RR intervals in seconds; ``rr_s[i] = beat_times_s[i+1] - beat_times_s[i]``
+        so it has one element fewer than ``beat_times_s``.
+    instantaneous_hr_bpm:
+        The underlying instantaneous heart rate on the uniform grid ``t``.
+    t:
+        Uniform time grid of the instantaneous heart rate.
+    """
+
+    beat_times_s: np.ndarray
+    rr_s: np.ndarray
+    instantaneous_hr_bpm: np.ndarray
+    t: np.ndarray
+
+    @property
+    def n_beats(self) -> int:
+        return int(self.beat_times_s.shape[0])
+
+    def mean_hr_bpm(self) -> float:
+        """Average heart rate over the whole session."""
+        if self.rr_s.size == 0:
+            return float("nan")
+        return float(60.0 / np.mean(self.rr_s))
+
+
+def _ou_drift(n: int, dt: float, tau_s: float, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    x = np.zeros(n)
+    if tau_s <= 0 or sigma <= 0:
+        return x
+    alpha = np.exp(-dt / tau_s)
+    scale = sigma * np.sqrt(1.0 - alpha**2)
+    for i in range(1, n):
+        x[i] = alpha * x[i - 1] + scale * rng.standard_normal()
+    return x
+
+
+def generate_rr_series(
+    duration_s: float,
+    seizures: Sequence[Seizure],
+    respiration: RespirationSignal,
+    rng: np.random.Generator,
+    params: RRModelParams | None = None,
+    base_hr_bpm: float | None = None,
+    arousals: Sequence[Seizure] = (),
+    stress_episodes: Sequence[Seizure] = (),
+    hr_response: float = 1.0,
+    rsa_response: float = 1.0,
+) -> RRSeries:
+    """Generate a beat sequence for one recording session.
+
+    Parameters
+    ----------
+    duration_s:
+        Session length in seconds.
+    seizures:
+        Annotated seizures; they modulate heart rate and variability through
+        the shared seizure envelope.
+    respiration:
+        The session's respiration process, used to produce respiratory sinus
+        arrhythmia coherent with the EDR signal.
+    rng:
+        NumPy random generator.
+    params:
+        Model parameters.
+    base_hr_bpm:
+        Patient-specific baseline heart rate; when omitted the population
+        baseline from ``params`` is used.
+    arousals:
+        Non-ictal arousal episodes (movement, exertion).  They raise the heart
+        rate — sometimes as much as a weak seizure — but do *not* suppress
+        respiratory sinus arrhythmia, so distinguishing them from seizures
+        requires combining rate and variability features.
+    stress_episodes:
+        Non-ictal vagal-withdrawal episodes; they suppress RSA with only a
+        small heart-rate increase, i.e. the complementary confounder to the
+        arousals.
+    hr_response, rsa_response:
+        Patient-specific strengths (0..1) of the ictal heart-rate response and
+        of the ictal RSA suppression.  Clinically, some patients express
+        seizures mainly through tachycardia and others mainly through loss of
+        beat-to-beat variability; the mixture of both phenotypes in one cohort
+        is what makes a single linear decision boundary inadequate.
+
+    Returns
+    -------
+    :class:`RRSeries`
+    """
+    if params is None:
+        params = RRModelParams()
+    fs = params.fs
+    n = int(np.ceil(duration_s * fs)) + 1
+    t = np.arange(n) / fs
+    dt = 1.0 / fs
+
+    hr0 = params.base_hr_bpm if base_hr_bpm is None else base_hr_bpm
+    # Variability suppression follows the unweighted envelope; the rate
+    # response is scaled by each seizure's intensity.
+    envelope = seizure_envelope(t, seizures)
+    rate_envelope = seizure_envelope(t, seizures, use_intensity=True)
+    arousal_env = seizure_envelope(t, arousals, use_intensity=True) if len(arousals) else np.zeros_like(t)
+    stress_env = (
+        seizure_envelope(t, stress_episodes, use_intensity=True)
+        if len(stress_episodes)
+        else np.zeros_like(t)
+    )
+
+    # Low-frequency (Mayer wave) oscillation with a slowly wandering phase.
+    lf_phase = 2.0 * np.pi * params.lf_frequency_hz * t + 0.5 * np.cumsum(
+        _ou_drift(n, dt, 60.0, 0.05, rng)
+    )
+    lf_gain = 1.0 - (1.0 - params.ictal_lf_suppression) * envelope
+    lf = params.lf_amplitude * lf_gain * np.sin(lf_phase)
+
+    # Respiratory sinus arrhythmia: phase-locked to the respiration waveform,
+    # suppressed during seizures (scaled by the patient's RSA response) and
+    # during stress episodes, slightly enhanced during arousals.
+    resp_wave = respiration.value_at(t)
+    resp_depth = np.maximum(respiration.depth_at(t), 1e-3)
+    rsa_gain = 1.0 - (1.0 - params.ictal_rsa_suppression) * rsa_response * envelope
+    rsa_gain *= 1.0 + (params.arousal_rsa_gain - 1.0) * arousal_env
+    rsa_gain *= 1.0 - (1.0 - params.stress_rsa_suppression) * stress_env
+    rsa = params.rsa_amplitude * rsa_gain * resp_wave / np.maximum(resp_depth.max(), 1e-3)
+
+    # Slow fractal-like drift plus white jitter.
+    drift = _ou_drift(n, dt, params.drift_tau_s, params.drift_amplitude, rng)
+    jitter = params.jitter_amplitude * rng.standard_normal(n)
+
+    # Ictal tachycardia (scaled by the patient's rate response) plus benign
+    # arousal / stress tachycardia.
+    hr_gain = 1.0 + (params.ictal_hr_gain - 1.0) * hr_response * rate_envelope
+    hr_gain *= 1.0 + (params.arousal_hr_gain - 1.0) * arousal_env
+    hr_gain *= 1.0 + (params.stress_hr_gain - 1.0) * stress_env
+
+    hr_bpm = hr0 * hr_gain * (1.0 + lf + rsa + drift + jitter)
+    hr_bpm = np.clip(hr_bpm, 35.0, 190.0)
+
+    # IPFM: emit a beat every time the integrated rate crosses an integer.
+    rate_hz = hr_bpm / 60.0
+    integrated = np.concatenate(([0.0], np.cumsum(rate_hz) * dt))
+    t_ext = np.concatenate((t, [t[-1] + dt]))
+    n_beats = int(np.floor(integrated[-1]))
+    if n_beats < 2:
+        raise ValueError("session too short to contain at least two beats")
+    beat_indices = np.arange(1, n_beats + 1, dtype=float)
+    beat_times = np.interp(beat_indices, integrated, t_ext)
+    beat_times = beat_times[beat_times <= duration_s]
+
+    beat_times = _inject_ectopic_beats(beat_times, params, rng)
+
+    rr = np.diff(beat_times)
+    return RRSeries(
+        beat_times_s=beat_times,
+        rr_s=rr,
+        instantaneous_hr_bpm=hr_bpm,
+        t=t,
+    )
+
+
+def _inject_ectopic_beats(
+    beat_times: np.ndarray, params: RRModelParams, rng: np.random.Generator
+) -> np.ndarray:
+    """Make a small random fraction of beats premature (ectopic).
+
+    A premature beat arrives early by ``ectopic_prematurity`` of the current
+    RR interval; the next sinus beat is unchanged, which produces the classic
+    short-interval / compensatory-pause pattern that inflates the short-term
+    variability statistics of the affected analysis windows.
+    """
+    if params.ectopic_rate <= 0.0 or beat_times.size < 3:
+        return beat_times
+    beat_times = beat_times.copy()
+    candidates = np.nonzero(rng.random(beat_times.size - 2) < params.ectopic_rate)[0] + 1
+    for idx in candidates:
+        rr_prev = beat_times[idx] - beat_times[idx - 1]
+        beat_times[idx] -= params.ectopic_prematurity * rr_prev
+    # Prematurity never reorders beats (shift < RR), but guard anyway.
+    return np.sort(beat_times)

@@ -1,0 +1,48 @@
+"""Support Vector Machine substrate (training and inference, from scratch).
+
+scikit-learn is not available in the offline environment, so this package
+re-implements everything the paper needs:
+
+* :mod:`repro.svm.kernels` — linear, polynomial (quadratic / cubic) and
+  Gaussian kernels, matching Table I of the paper.
+* :mod:`repro.svm.scaling` — per-feature standardisation fitted on the
+  training fold only.
+* :mod:`repro.svm.smo` — a Sequential Minimal Optimization solver for the
+  soft-margin C-SVC dual with per-class penalties (maximal-violating-pair
+  working-set selection, full kernel caching).
+* :mod:`repro.svm.model` — the trained-model container
+  (:class:`~repro.svm.model.SVMModel`), decision function and prediction.
+* :mod:`repro.svm.budget` — support-vector budgeting by iterative removal of
+  the least significant SV (``‖α_i‖² · k(x_i, x_i)``) followed by re-training,
+  the strategy of Section III of the paper.
+"""
+
+from repro.svm.kernels import (
+    GaussianKernel,
+    Kernel,
+    LinearKernel,
+    PolynomialKernel,
+    kernel_from_name,
+)
+from repro.svm.scaling import StandardScaler
+from repro.svm.smo import SMOParams, SMOResult, smo_solve
+from repro.svm.model import SVMModel, SVMTrainParams, train_svm
+from repro.svm.budget import BudgetParams, budget_training_set, train_budgeted_svm
+
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "PolynomialKernel",
+    "GaussianKernel",
+    "kernel_from_name",
+    "StandardScaler",
+    "SMOParams",
+    "SMOResult",
+    "smo_solve",
+    "SVMModel",
+    "SVMTrainParams",
+    "train_svm",
+    "BudgetParams",
+    "budget_training_set",
+    "train_budgeted_svm",
+]

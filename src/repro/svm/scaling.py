@@ -1,0 +1,121 @@
+"""Per-feature normalisation of the feature vectors.
+
+The 53 features span wildly different numeric ranges (RR intervals in seconds,
+Lorenz-plot areas in ms², normalised PSD band powers, …) and a polynomial
+kernel on the raw values would be dominated by the largest ones.  Two
+normalisers are provided, both fitted on the *training* fold only:
+
+* :class:`StandardScaler` — classical zero-mean / unit-variance
+  standardisation; the strongest conditioning, but it requires per-feature
+  multipliers and subtractors in an embedded implementation.
+* :class:`PowerOfTwoScaler` — shift-only normalisation: every feature is
+  divided by ``2^round(log2(σ_j))`` and the mean is *not* removed.  This is
+  the normalisation a WBSN feature extractor can afford (shifts instead of
+  dividers, exactly the philosophy of the paper's range handling) and it is
+  the default of :func:`repro.svm.model.train_svm`.  Because means are kept,
+  the normalised features still span visibly different ranges, which is what
+  makes the paper's per-feature versus global scaling comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler", "PowerOfTwoScaler", "make_scaler"]
+
+
+@dataclass
+class StandardScaler:
+    """Zero-mean / unit-variance scaler (fit on training data only)."""
+
+    mean_: Optional[np.ndarray] = field(default=None, repr=False)
+    scale_: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Features whose standard deviation falls below this are left unscaled
+    #: (constant columns carry no information and must not blow up).
+    min_std: float = 1e-12
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None and self.scale_ is not None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Estimate per-feature mean and standard deviation."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError("X must be a non-empty 2-D array")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0, ddof=0)
+        std = np.where(std < self.min_std, 1.0, std)
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the fitted standardisation."""
+        if not self.is_fitted:
+            raise RuntimeError("StandardScaler must be fitted before transform()")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` then transform it."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X_scaled: np.ndarray) -> np.ndarray:
+        """Map standardised values back to the original feature units."""
+        if not self.is_fitted:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform()")
+        X_scaled = np.asarray(X_scaled, dtype=float)
+        return X_scaled * self.scale_ + self.mean_
+
+    def select_features(self, indices) -> "StandardScaler":
+        """Scaler restricted to a subset of feature columns."""
+        if not self.is_fitted:
+            raise RuntimeError("StandardScaler must be fitted before select_features()")
+        indices = list(indices)
+        reduced = type(self)(min_std=self.min_std)
+        reduced.mean_ = self.mean_[indices].copy()
+        reduced.scale_ = self.scale_[indices].copy()
+        return reduced
+
+
+@dataclass
+class PowerOfTwoScaler(StandardScaler):
+    """Shift-only normaliser: divide by ``2^round(log2(σ))``, keep the mean.
+
+    The scale factors are exact powers of two, so an embedded front-end can
+    apply them with arithmetic shifts; no per-feature offset subtraction is
+    required.  Constant features keep a scale of one.
+    """
+
+    def fit(self, X: np.ndarray) -> "PowerOfTwoScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError("X must be a non-empty 2-D array")
+        std = X.std(axis=0, ddof=0)
+        usable = std >= self.min_std
+        exponents = np.zeros(X.shape[1])
+        exponents[usable] = np.round(np.log2(std[usable]))
+        self.scale_ = 2.0**exponents
+        self.mean_ = np.zeros(X.shape[1])
+        return self
+
+    def scale_exponents(self) -> np.ndarray:
+        """The per-feature shift amounts ``round(log2(σ_j))``."""
+        if not self.is_fitted:
+            raise RuntimeError("PowerOfTwoScaler must be fitted first")
+        return np.round(np.log2(self.scale_)).astype(int)
+
+
+def make_scaler(kind: str) -> Optional[StandardScaler]:
+    """Build a scaler by name: ``"pow2"``, ``"standard"`` or ``"none"``."""
+    key = kind.strip().lower()
+    if key in ("pow2", "power-of-two", "shift"):
+        return PowerOfTwoScaler()
+    if key in ("standard", "zscore"):
+        return StandardScaler()
+    if key in ("none", "raw", ""):
+        return None
+    raise ValueError("unknown scaler kind %r" % kind)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects (a small synthetic cohort, its feature matrix and a
+trained quadratic SVM) are built once per session; individual tests treat them
+as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.extractor import FeatureMatrix, extract_cohort_features
+from repro.signals.dataset import CohortParams, generate_cohort
+from repro.svm.kernels import PolynomialKernel
+from repro.svm.model import SVMTrainParams, train_svm
+
+
+#: Small cohort used throughout the test suite: fast to generate, but with the
+#: same structure as the full profiles (multiple patients and sessions, rare
+#: seizures, arousal / stress confounders).
+TEST_COHORT_PARAMS = CohortParams(
+    n_patients=3,
+    n_sessions=6,
+    session_duration_s=1500.0,
+    total_seizures=8,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_cohort():
+    return generate_cohort(TEST_COHORT_PARAMS)
+
+
+@pytest.fixture(scope="session")
+def feature_matrix(small_cohort) -> FeatureMatrix:
+    return extract_cohort_features(small_cohort)
+
+
+@pytest.fixture(scope="session")
+def quadratic_model(feature_matrix) -> object:
+    """A quadratic SVM trained on the full small-cohort feature matrix."""
+    return train_svm(
+        feature_matrix.X,
+        feature_matrix.y,
+        kernel=PolynomialKernel(degree=2),
+        params=SVMTrainParams(),
+    )
+
+
+@pytest.fixture(scope="session")
+def separable_dataset(rng):
+    """A simple, well-separated 2-D binary dataset for the SVM unit tests."""
+    n = 80
+    pos = rng.normal(loc=[2.0, 2.0], scale=0.5, size=(n // 2, 2))
+    neg = rng.normal(loc=[-2.0, -2.0], scale=0.5, size=(n // 2, 2))
+    X = np.vstack([pos, neg])
+    y = np.concatenate([np.ones(n // 2, dtype=int), -np.ones(n // 2, dtype=int)])
+    order = rng.permutation(n)
+    return X[order], y[order]

@@ -1,0 +1,145 @@
+"""Unit tests for correlation-based feature selection and the Figure 4 sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_point import DesignPoint, hardware_cost
+from repro.core.feature_selection import (
+    correlation_matrix,
+    correlation_removal_order,
+    feature_reduction_sweep,
+    select_features,
+)
+from repro.features.catalog import FeatureGroup, group_indices
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_is_one(self, feature_matrix):
+        corr = correlation_matrix(feature_matrix.X)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_symmetric_and_bounded(self, feature_matrix):
+        corr = correlation_matrix(feature_matrix.X)
+        assert np.allclose(corr, corr.T)
+        assert np.all(corr <= 1.0 + 1e-9) and np.all(corr >= -1.0 - 1e-9)
+
+    def test_duplicate_columns_fully_correlated(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(100)
+        X = np.column_stack([x, x, rng.standard_normal(100)])
+        corr = correlation_matrix(X)
+        assert corr[0, 1] == pytest.approx(1.0)
+        assert abs(corr[0, 2]) < 0.4
+
+    def test_constant_column_treated_as_redundant(self):
+        X = np.column_stack([np.ones(50), np.arange(50.0)])
+        corr = correlation_matrix(X)
+        assert corr[0, 1] == pytest.approx(1.0)
+
+    def test_psd_block_highly_correlated(self, feature_matrix):
+        """The PSD features should form the bright redundant block of Figure 3."""
+        corr = np.abs(correlation_matrix(feature_matrix.X))
+        psd = group_indices(FeatureGroup.PSD)
+        hrv = group_indices(FeatureGroup.HRV)
+        psd_block = corr[np.ix_(psd, psd)]
+        cross_block = corr[np.ix_(psd, hrv)]
+        psd_mean = (psd_block.sum() - len(psd)) / (len(psd) ** 2 - len(psd))
+        assert psd_mean > cross_block.mean()
+
+    def test_requires_two_rows(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(np.zeros((1, 5)))
+
+
+class TestRemovalOrder:
+    def test_is_permutation(self, feature_matrix):
+        order = correlation_removal_order(feature_matrix.X)
+        assert sorted(order) == list(range(feature_matrix.n_features))
+
+    def test_duplicate_column_removed_first(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(200)
+        X = np.column_stack([x, x + 1e-9 * rng.standard_normal(200), rng.standard_normal(200),
+                             rng.standard_normal(200)])
+        order = correlation_removal_order(X)
+        assert order[0] in (0, 1)
+
+    def test_select_features_keeps_requested_count(self, feature_matrix):
+        kept = select_features(feature_matrix.X, 23)
+        assert len(kept) == 23
+        assert kept == sorted(kept)
+
+    def test_select_features_nested_subsets(self, feature_matrix):
+        order = correlation_removal_order(feature_matrix.X)
+        kept_30 = set(select_features(feature_matrix.X, 30, order))
+        kept_15 = set(select_features(feature_matrix.X, 15, order))
+        assert kept_15.issubset(kept_30)
+
+    def test_select_features_bounds(self, feature_matrix):
+        with pytest.raises(ValueError):
+            select_features(feature_matrix.X, 0)
+        with pytest.raises(ValueError):
+            select_features(feature_matrix.X, feature_matrix.n_features + 1)
+
+    def test_select_features_rejects_bad_order(self, feature_matrix):
+        with pytest.raises(ValueError):
+            select_features(feature_matrix.X, 10, removal_order=[0, 1, 2])
+
+    def test_psd_features_pruned_before_hrv(self, feature_matrix):
+        """Redundant PSD bands should be removed earlier than the HRV features."""
+        order = correlation_removal_order(feature_matrix.X)
+        psd = set(group_indices(FeatureGroup.PSD))
+        hrv = set(group_indices(FeatureGroup.HRV))
+        first_removed = order[:15]
+        psd_removed = sum(1 for idx in first_removed if idx in psd)
+        hrv_removed = sum(1 for idx in first_removed if idx in hrv)
+        assert psd_removed > hrv_removed
+
+
+class TestFeatureReductionSweep:
+    def test_sweep_produces_one_point_per_count(self, feature_matrix):
+        points = feature_reduction_sweep(feature_matrix, [53, 23, 10])
+        assert [p.n_features for p in points] == [53, 23, 10]
+
+    def test_energy_and_area_decrease_with_fewer_features(self, feature_matrix):
+        points = feature_reduction_sweep(feature_matrix, [53, 23])
+        assert points[1].energy_nj < points[0].energy_nj
+        assert points[1].area_mm2 < points[0].area_mm2
+
+    def test_gm_degrades_gracefully_at_23_features(self, feature_matrix):
+        points = feature_reduction_sweep(feature_matrix, [53, 23])
+        assert points[1].gm > points[0].gm - 0.15
+
+    def test_custom_selection_function(self, feature_matrix):
+        def take_first(X, n_keep):
+            return list(range(n_keep))
+
+        points = feature_reduction_sweep(feature_matrix, [10], selection_fn=take_first)
+        assert points[0].extras["kept_indices"] == [float(i) for i in range(10)]
+
+
+class TestDesignPointHelpers:
+    def test_hardware_cost_reasonable(self):
+        report = hardware_cost(53, 120, 64, 64, per_feature_scaling=False, datapath_cap_bits=64)
+        assert report.energy_nj > 0 and report.area_mm2 > 0
+
+    def test_gain_ratios(self):
+        baseline = DesignPoint("base", 53, 120, 64, 64, 0.9, 0.9, 0.9, 2000.0, 0.4)
+        optimised = DesignPoint("opt", 30, 68, 9, 15, 0.88, 0.88, 0.88, 160.0, 0.025)
+        assert optimised.energy_gain_over(baseline) == pytest.approx(12.5)
+        assert optimised.area_gain_over(baseline) == pytest.approx(16.0)
+        assert baseline.gm - optimised.gm == pytest.approx(0.02)
+
+    def test_normalised_to_baseline(self):
+        baseline = DesignPoint("base", 53, 120, 64, 64, 0.9, 0.9, 0.9, 2000.0, 0.4)
+        point = DesignPoint("p", 53, 120, 32, 32, 0.9, 0.9, 0.9, 1000.0, 0.2)
+        normalised = point.normalised_to(baseline)
+        assert normalised["energy"] == pytest.approx(0.5)
+        assert normalised["area"] == pytest.approx(0.5)
+        assert normalised["gm"] == pytest.approx(1.0)
+
+    def test_as_row_contains_extras(self):
+        point = DesignPoint("p", 10, 10, 8, 8, 0.5, 0.5, 0.5, 1.0, 0.1, extras={"budget": 3.0})
+        row = point.as_row()
+        assert row["budget"] == 3.0
+        assert row["name"] == "p"

@@ -1,0 +1,136 @@
+"""Unit tests for the classification metrics and the LOSO evaluation loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import (
+    budgeted_svm_factory,
+    float_svm_factory,
+    leave_one_session_out,
+    quantized_svm_factory,
+)
+from repro.core.metrics import ClassificationMetrics, confusion_counts, geometric_mean
+from repro.quant.quantized_model import QuantizationConfig
+from repro.svm.kernels import LinearKernel
+
+
+class TestConfusionCounts:
+    def test_perfect_prediction(self):
+        y = np.array([1, 1, -1, -1])
+        assert confusion_counts(y, y) == (2, 2, 0, 0)
+
+    def test_all_wrong(self):
+        y = np.array([1, -1])
+        assert confusion_counts(y, -y) == (0, 0, 1, 1)
+
+    def test_mixed(self):
+        y_true = np.array([1, 1, -1, -1, -1])
+        y_pred = np.array([1, -1, -1, 1, -1])
+        assert confusion_counts(y_true, y_pred) == (1, 2, 1, 1)
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([0, 1]), np.array([1, 1]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([1, -1]), np.array([1]))
+
+
+class TestClassificationMetrics:
+    def test_sensitivity_specificity_gm(self):
+        metrics = ClassificationMetrics(true_positives=8, true_negatives=90, false_positives=10, false_negatives=2)
+        assert metrics.sensitivity == pytest.approx(0.8)
+        assert metrics.specificity == pytest.approx(0.9)
+        assert metrics.gm == pytest.approx(np.sqrt(0.72))
+
+    def test_undefined_sensitivity_without_positives(self):
+        metrics = ClassificationMetrics(0, 10, 0, 0)
+        assert metrics.sensitivity is None
+        assert metrics.gm is None
+        assert metrics.specificity == 1.0
+
+    def test_merge_pools_counts(self):
+        a = ClassificationMetrics(1, 2, 3, 4)
+        b = ClassificationMetrics(10, 20, 30, 40)
+        merged = a.merged_with(b)
+        assert (merged.true_positives, merged.true_negatives) == (11, 22)
+        assert (merged.false_positives, merged.false_negatives) == (33, 44)
+
+    def test_from_predictions(self):
+        y_true = np.array([1, -1, 1, -1])
+        y_pred = np.array([1, -1, -1, -1])
+        metrics = ClassificationMetrics.from_predictions(y_true, y_pred)
+        assert metrics.true_positives == 1
+        assert metrics.false_negatives == 1
+
+    def test_geometric_mean_rejects_negative(self):
+        with pytest.raises(ValueError):
+            geometric_mean(-0.1, 0.5)
+
+
+class TestLeaveOneSessionOut:
+    def test_one_fold_per_session(self, feature_matrix):
+        result = leave_one_session_out(feature_matrix, float_svm_factory(LinearKernel()))
+        assert result.n_folds == len(feature_matrix.sessions)
+
+    def test_fold_sizes_match_sessions(self, feature_matrix):
+        result = leave_one_session_out(feature_matrix, float_svm_factory(LinearKernel()))
+        for fold in result.folds:
+            expected = int(np.sum(feature_matrix.session_ids == fold.session_id))
+            assert fold.n_test_windows == expected
+
+    def test_metrics_within_unit_interval(self, feature_matrix):
+        result = leave_one_session_out(feature_matrix, float_svm_factory())
+        assert 0.0 <= result.sensitivity <= 1.0
+        assert 0.0 <= result.specificity <= 1.0
+        assert 0.0 <= result.gm <= 1.0
+
+    def test_gm_is_geometric_mean_of_averages(self, feature_matrix):
+        result = leave_one_session_out(feature_matrix, float_svm_factory())
+        assert result.gm == pytest.approx(np.sqrt(result.sensitivity * result.specificity))
+
+    def test_detector_beats_chance(self, feature_matrix):
+        result = leave_one_session_out(feature_matrix, float_svm_factory())
+        assert result.gm > 0.6
+
+    def test_session_subset(self, feature_matrix):
+        sessions = list(feature_matrix.sessions[:2])
+        result = leave_one_session_out(feature_matrix, float_svm_factory(LinearKernel()), sessions=sessions)
+        assert result.n_folds == 2
+
+    def test_mean_support_vectors_positive(self, feature_matrix):
+        result = leave_one_session_out(feature_matrix, float_svm_factory())
+        assert result.mean_support_vectors > 0
+
+    def test_budgeted_factory_respects_budget(self, feature_matrix):
+        budget = 15
+        result = leave_one_session_out(feature_matrix, budgeted_svm_factory(budget=budget))
+        assert all(fold.n_support_vectors <= budget for fold in result.folds)
+
+    def test_quantized_factory_reports_sv_count(self, feature_matrix):
+        factory = quantized_svm_factory(QuantizationConfig(feature_bits=9, coeff_bits=15))
+        result = leave_one_session_out(feature_matrix, factory)
+        assert result.mean_support_vectors > 0
+        assert 0.0 <= result.gm <= 1.0
+
+    def test_quantized_close_to_float(self, feature_matrix):
+        float_result = leave_one_session_out(feature_matrix, float_svm_factory())
+        quant_result = leave_one_session_out(
+            feature_matrix, quantized_svm_factory(QuantizationConfig(feature_bits=12, coeff_bits=16))
+        )
+        assert abs(float_result.gm - quant_result.gm) < 0.1
+
+    def test_pooled_metrics_counts_match_total_windows(self, feature_matrix):
+        result = leave_one_session_out(feature_matrix, float_svm_factory(LinearKernel()))
+        pooled = result.pooled_metrics
+        total = (
+            pooled.true_positives + pooled.true_negatives + pooled.false_positives + pooled.false_negatives
+        )
+        assert total == feature_matrix.n_samples
+
+    def test_summary_keys(self, feature_matrix):
+        result = leave_one_session_out(feature_matrix, float_svm_factory(LinearKernel()))
+        assert set(result.summary()) == {
+            "n_folds", "sensitivity", "specificity", "gm", "mean_support_vectors", "n_features",
+        }

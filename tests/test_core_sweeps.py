@@ -1,0 +1,107 @@
+"""Integration tests for the SV-budget sweep, bitwidth search and combined flow.
+
+These tests exercise the paper's optimisation flows end-to-end on the small
+test cohort, with trimmed sweep axes so they stay fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bitwidth_search import bitwidth_grid_search, homogeneous_width_search
+from repro.core.combined import CombinedFlowConfig, combined_optimisation_flow
+from repro.core.sv_budgeting import sv_budget_sweep
+
+
+class TestSvBudgetSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, feature_matrix):
+        return sv_budget_sweep(feature_matrix, budgets=[60, 25, 10])
+
+    def test_one_point_per_budget(self, sweep):
+        assert [int(p.extras["budget"]) for p in sweep] == [60, 25, 10]
+
+    def test_sv_counts_respect_budgets(self, sweep):
+        for point in sweep:
+            assert point.n_support_vectors <= point.extras["budget"] + 1e-9
+
+    def test_energy_and_area_decrease_with_budget(self, sweep):
+        energies = [p.energy_nj for p in sweep]
+        areas = [p.area_mm2 for p in sweep]
+        assert energies[0] >= energies[-1]
+        assert areas[0] >= areas[-1]
+
+    def test_gm_still_reasonable_at_moderate_budget(self, sweep):
+        assert sweep[1].gm > sweep[0].gm - 0.2
+
+
+class TestBitwidthSearch:
+    @pytest.fixture(scope="class")
+    def grid(self, feature_matrix):
+        return bitwidth_grid_search(feature_matrix, feature_bit_options=[7, 9], coeff_bit_options=[13, 15])
+
+    def test_grid_size(self, grid):
+        assert len(grid) == 4
+
+    def test_grid_extras_record_coordinates(self, grid):
+        coords = {(int(p.extras["feature_bits"]), int(p.extras["coeff_bits"])) for p in grid}
+        assert coords == {(7, 13), (7, 15), (9, 13), (9, 15)}
+
+    def test_energy_grows_with_bits(self, grid):
+        by_coords = {(int(p.extras["feature_bits"]), int(p.extras["coeff_bits"])): p for p in grid}
+        assert by_coords[(9, 15)].energy_nj > by_coords[(7, 13)].energy_nj
+
+    def test_gm_in_unit_interval(self, grid):
+        for point in grid:
+            assert 0.0 <= point.gm <= 1.0
+
+    def test_homogeneous_search_runs(self, feature_matrix):
+        points = homogeneous_width_search(feature_matrix, widths=[12, 24])
+        assert [int(p.extras["uniform_width"]) for p in points] == [12, 24]
+        assert points[1].gm >= points[0].gm - 0.05  # more bits never much worse
+
+
+class TestCombinedFlow:
+    @pytest.fixture(scope="class")
+    def flow(self, feature_matrix):
+        config = CombinedFlowConfig(
+            n_features=30,
+            sv_budget=30,
+            feature_bits=9,
+            coeff_bits=15,
+            uniform_reference_widths=(16,),
+        )
+        return combined_optimisation_flow(feature_matrix, config=config)
+
+    def test_four_stages_present(self, flow):
+        names = [p.name for p in flow.stages]
+        assert names == [
+            "baseline-64bit",
+            "feature-reduction",
+            "feature+sv-reduction",
+            "feature+sv+bit-reduction",
+        ]
+
+    def test_costs_monotonically_decrease_along_stages(self, flow):
+        energies = [p.energy_nj for p in flow.stages]
+        areas = [p.area_mm2 for p in flow.stages]
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+        assert all(a >= b for a, b in zip(areas, areas[1:]))
+
+    def test_headline_gains_positive(self, flow):
+        gains = flow.headline_gains()
+        assert gains["energy_gain"] > 3.0
+        assert gains["area_gain"] > 3.0
+        # GM loss should stay moderate (paper: 3.2% on the clinical data).
+        assert gains["gm_loss"] < 0.2
+
+    def test_normalised_rows_reference_baseline(self, flow):
+        rows = flow.normalised_rows()
+        assert rows[0]["energy"] == pytest.approx(1.0)
+        assert rows[0]["area"] == pytest.approx(1.0)
+        for row in rows[1:4]:
+            assert row["energy"] <= 1.0 + 1e-9
+            assert row["area"] <= 1.0 + 1e-9
+
+    def test_uniform_reference_present(self, flow):
+        assert len(flow.uniform_references) == 1
+        assert int(flow.uniform_references[0].extras["uniform_width"]) == 16

@@ -1,0 +1,55 @@
+"""Unit tests for the Pan–Tompkins-style R-peak detector."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.peaks import PanTompkinsParams, detect_r_peaks
+from repro.signals.ecg_model import ECGWaveformParams, synthesize_ecg
+from repro.signals.respiration import generate_respiration
+from repro.signals.rr_model import RRModelParams, generate_rr_series
+
+
+@pytest.fixture(scope="module")
+def synthetic_ecg():
+    rng = np.random.default_rng(33)
+    duration = 180.0
+    respiration = generate_respiration(duration, [], rng)
+    series = generate_rr_series(duration, [], respiration, rng, RRModelParams(ectopic_rate=0.0))
+    ecg = synthesize_ecg(series.beat_times_s, duration, respiration, rng, ECGWaveformParams())
+    return ecg, series
+
+
+class TestDetectRPeaks:
+    def test_detects_most_beats(self, synthetic_ecg):
+        ecg, series = synthetic_ecg
+        _, peak_times = detect_r_peaks(ecg.ecg_mv, ecg.fs)
+        true_beats = series.beat_times_s
+        # Count true beats matched within 80 ms by a detection.
+        matched = sum(np.any(np.abs(peak_times - t) < 0.08) for t in true_beats[2:-2])
+        assert matched / (true_beats.size - 4) > 0.9
+
+    def test_false_detection_rate_low(self, synthetic_ecg):
+        ecg, series = synthetic_ecg
+        _, peak_times = detect_r_peaks(ecg.ecg_mv, ecg.fs)
+        true_beats = series.beat_times_s
+        false_detections = sum(not np.any(np.abs(true_beats - t) < 0.08) for t in peak_times)
+        assert false_detections / max(peak_times.size, 1) < 0.1
+
+    def test_detected_rr_near_true_mean(self, synthetic_ecg):
+        ecg, series = synthetic_ecg
+        _, peak_times = detect_r_peaks(ecg.ecg_mv, ecg.fs)
+        assert np.mean(np.diff(peak_times)) == pytest.approx(np.mean(series.rr_s), rel=0.05)
+
+    def test_refractory_period_enforced(self, synthetic_ecg):
+        ecg, _ = synthetic_ecg
+        params = PanTompkinsParams(refractory_s=0.25)
+        _, peak_times = detect_r_peaks(ecg.ecg_mv, ecg.fs, params)
+        assert np.all(np.diff(peak_times) >= 0.25 - 1e-6)
+
+    def test_short_signal_returns_empty(self):
+        indices, times = detect_r_peaks(np.zeros(10), 128.0)
+        assert indices.size == 0 and times.size == 0
+
+    def test_flat_signal_returns_few_peaks(self):
+        indices, _ = detect_r_peaks(np.zeros(1280), 128.0)
+        assert indices.size <= 2

@@ -1,0 +1,116 @@
+"""Integration tests for the experiment harness (tables / figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_correlation,
+    fig4_features,
+    fig5_svbudget,
+    fig6_bitwidth,
+    fig7_combined,
+    table1_kernels,
+)
+from repro.experiments.data import PROFILES, get_experiment_data
+
+
+class TestExperimentData:
+    def test_profiles_defined(self):
+        assert set(PROFILES) == {"quick", "paper"}
+        assert PROFILES["paper"].n_patients == 7
+        assert PROFILES["paper"].n_sessions == 24
+        assert PROFILES["paper"].total_seizures == 34
+
+    def test_quick_profile_cached(self):
+        a = get_experiment_data("quick")
+        b = get_experiment_data("quick")
+        assert a is b
+        assert a.features.n_samples > 100
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            get_experiment_data("huge")
+
+
+class TestTable1:
+    def test_rows_for_each_kernel(self, feature_matrix):
+        rows = table1_kernels.run(feature_matrix, kernels=("linear", "quadratic"))
+        assert [r.kernel for r in rows] == ["linear", "quadratic"]
+        for row in rows:
+            assert 0.0 <= row.gm <= 1.0
+
+    def test_format_table_mentions_all_kernels(self, feature_matrix):
+        rows = table1_kernels.run(feature_matrix, kernels=("linear", "quadratic"))
+        text = table1_kernels.format_table(rows)
+        assert "linear" in text and "quadratic" in text
+
+    def test_paper_reference_table_complete(self):
+        assert set(table1_kernels.PAPER_TABLE1) == {"linear", "quadratic", "cubic", "gaussian"}
+
+
+class TestFig3:
+    def test_matrix_shape(self, feature_matrix):
+        summary = fig3_correlation.run(feature_matrix)
+        assert summary.matrix.shape == (53, 53)
+
+    def test_psd_block_most_redundant(self, feature_matrix):
+        summary = fig3_correlation.run(feature_matrix)
+        assert summary.within_group["psd"] >= max(
+            summary.within_group["hrv"], summary.within_group["ar"]
+        ) - 0.2
+
+    def test_format_summary_runs(self, feature_matrix):
+        summary = fig3_correlation.run(feature_matrix)
+        text = fig3_correlation.format_summary(summary)
+        assert "Figure 3" in text
+
+
+class TestFig4:
+    def test_run_and_summary(self, feature_matrix):
+        result = fig4_features.run(feature_matrix, feature_counts=(53, 23, 10), selected_count=23)
+        assert len(result.points) == 3
+        summary = result.selected_summary()
+        assert summary["energy_reduction_pct"] > 0
+        assert summary["area_reduction_pct"] > 0
+        text = fig4_features.format_series(result)
+        assert "Figure 4" in text
+
+
+class TestFig5:
+    def test_run_and_summary(self, feature_matrix):
+        result = fig5_svbudget.run(feature_matrix, budgets=(60, 25), selected_budget=25)
+        assert len(result.points) == 2
+        summary = result.selected_summary()
+        assert summary["energy_reduction_pct"] > 0
+        text = fig5_svbudget.format_series(result)
+        assert "Figure 5" in text
+
+
+class TestFig6:
+    def test_run_and_selected_point(self, feature_matrix):
+        result = fig6_bitwidth.run(
+            feature_matrix,
+            feature_bit_options=(7, 9),
+            coeff_bit_options=(15,),
+            homogeneous_widths=(16,),
+        )
+        assert len(result.grid_points) == 2
+        assert result.selected_feature_bits == 9
+        summary = result.selected_summary()
+        assert "gm_loss_pct_vs_float" in summary
+        text = fig6_bitwidth.format_grid(result)
+        assert "Figure 6" in text
+
+
+class TestFig7:
+    def test_run_and_headline(self, feature_matrix):
+        from repro.core.combined import CombinedFlowConfig
+
+        config = CombinedFlowConfig(n_features=30, sv_budget=30, uniform_reference_widths=(16,))
+        result = fig7_combined.run(feature_matrix, config=config)
+        headline = result.headline()
+        assert headline["energy_gain_x"] > 3.0
+        assert headline["area_gain_x"] > 3.0
+        text = fig7_combined.format_bars(result)
+        assert "Figure 7" in text
+        assert len(result.normalised_rows) == 5

@@ -1,0 +1,126 @@
+"""Unit tests for the feature catalogue and the cohort-level extractor."""
+
+import numpy as np
+import pytest
+
+from repro.features.catalog import (
+    FEATURE_GROUPS,
+    FEATURE_NAMES,
+    N_FEATURES,
+    FeatureGroup,
+    feature_group_of,
+    group_indices,
+    paper_feature_number,
+)
+from repro.features.extractor import (
+    FeatureExtractionParams,
+    FeatureExtractor,
+    FeatureMatrix,
+    extract_cohort_features,
+)
+from repro.signals.windows import extract_windows
+
+
+class TestCatalog:
+    def test_total_feature_count_is_53(self):
+        assert N_FEATURES == 53
+        assert len(FEATURE_NAMES) == 53
+
+    def test_group_sizes_match_paper(self):
+        assert len(group_indices(FeatureGroup.HRV)) == 8
+        assert len(group_indices(FeatureGroup.LORENZ)) == 7
+        assert len(group_indices(FeatureGroup.AR)) == 9
+        assert len(group_indices(FeatureGroup.PSD)) == 29
+
+    def test_groups_partition_all_columns(self):
+        all_indices = sorted(sum((group_indices(g) for g in FEATURE_GROUPS), []))
+        assert all_indices == list(range(53))
+
+    def test_feature_group_of(self):
+        assert feature_group_of(0) == FeatureGroup.HRV
+        assert feature_group_of(8) == FeatureGroup.LORENZ
+        assert feature_group_of(15) == FeatureGroup.AR
+        assert feature_group_of(24) == FeatureGroup.PSD
+        assert feature_group_of(52) == FeatureGroup.PSD
+
+    def test_feature_group_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            feature_group_of(53)
+
+    def test_paper_feature_number_is_one_based(self):
+        assert paper_feature_number(0) == 1
+        assert paper_feature_number(52) == 53
+        with pytest.raises(IndexError):
+            paper_feature_number(-1)
+
+    def test_names_unique(self):
+        assert len(set(FEATURE_NAMES)) == 53
+
+
+class TestFeatureMatrix:
+    def test_shapes_validated(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix(
+                X=np.zeros((4, 53)),
+                y=np.ones(3),
+                session_ids=np.zeros(4),
+                patient_ids=np.zeros(4),
+            )
+
+    def test_select_features_subsets_columns(self, feature_matrix):
+        reduced = feature_matrix.select_features([0, 5, 10])
+        assert reduced.X.shape == (feature_matrix.n_samples, 3)
+        assert reduced.feature_names == [feature_matrix.feature_names[i] for i in (0, 5, 10)]
+        assert np.allclose(reduced.X[:, 1], feature_matrix.X[:, 5])
+
+    def test_split_session_partitions_rows(self, feature_matrix):
+        session = int(feature_matrix.sessions[0])
+        train, test = feature_matrix.split_session(session)
+        assert train.n_samples + test.n_samples == feature_matrix.n_samples
+        assert np.all(test.session_ids == session)
+        assert not np.any(train.session_ids == session)
+
+    def test_split_unknown_session_raises(self, feature_matrix):
+        with pytest.raises(KeyError):
+            feature_matrix.split_session(10**6)
+
+    def test_class_counts(self, feature_matrix):
+        assert feature_matrix.n_positive + feature_matrix.n_negative == feature_matrix.n_samples
+        assert feature_matrix.n_positive > 0
+        assert feature_matrix.n_negative > 0
+
+
+class TestExtractor:
+    def test_window_vector_length(self, small_cohort):
+        extractor = FeatureExtractor()
+        recording = small_cohort.recordings[0]
+        window = extract_windows(recording)[0]
+        vec = extractor.extract_window(recording, window)
+        assert vec.shape == (53,)
+        assert np.all(np.isfinite(vec))
+
+    def test_recording_matrix_consistent(self, small_cohort):
+        extractor = FeatureExtractor()
+        recording = small_cohort.recordings[0]
+        X, y, windows = extractor.extract_recording(recording)
+        assert X.shape[0] == y.shape[0] == len(windows)
+        assert X.shape[1] == 53
+
+    def test_cohort_matrix_covers_all_sessions(self, small_cohort, feature_matrix):
+        assert set(feature_matrix.sessions) == {r.session_id for r in small_cohort.recordings}
+
+    def test_cohort_matrix_has_both_classes(self, feature_matrix):
+        assert feature_matrix.n_positive > 0
+        assert feature_matrix.n_negative > 0
+
+    def test_mean_hr_feature_higher_in_seizure_windows(self, feature_matrix):
+        # Feature 4 is the mean heart rate; ictal tachycardia should raise its
+        # class-conditional mean even in the presence of confounders.
+        hr = feature_matrix.X[:, 4]
+        assert hr[feature_matrix.y == 1].mean() > hr[feature_matrix.y == -1].mean()
+
+    def test_extraction_deterministic(self, small_cohort):
+        a = extract_cohort_features(small_cohort)
+        b = extract_cohort_features(small_cohort)
+        assert np.allclose(a.X, b.X)
+        assert np.array_equal(a.y, b.y)

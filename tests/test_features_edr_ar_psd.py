@@ -1,0 +1,125 @@
+"""Unit tests for EDR extraction and the AR / PSD feature groups."""
+
+import numpy as np
+import pytest
+
+from repro.features.ar_features import AR_FEATURE_NAMES, AR_ORDER, ar_features
+from repro.features.edr import EDR_FS, edr_series_from_amplitudes, edr_series_from_ecg
+from repro.features.psd_features import PSD_BANDS, PSD_FEATURE_NAMES, psd_features
+from repro.signals.ecg_model import ECGWaveformParams, synthesize_ecg
+from repro.signals.respiration import generate_respiration
+from repro.signals.rr_model import RRModelParams, generate_rr_series
+
+
+def _synthetic_beats(duration=300.0, resp_rate=0.25, hr_bpm=72.0, modulation=0.15, seed=0):
+    """Beat times with respiration-modulated amplitudes at a known rate."""
+    rng = np.random.default_rng(seed)
+    rr = 60.0 / hr_bpm
+    beat_times = np.arange(0.0, duration, rr)
+    amplitudes = 1.0 + modulation * np.sin(2 * np.pi * resp_rate * beat_times)
+    amplitudes += 0.01 * rng.standard_normal(beat_times.size)
+    return beat_times, amplitudes
+
+
+class TestEDRFromAmplitudes:
+    def test_uniform_sampling(self):
+        beats, amps = _synthetic_beats()
+        t, edr = edr_series_from_amplitudes(beats, amps)
+        assert np.allclose(np.diff(t), 1.0 / EDR_FS)
+        assert t.shape == edr.shape
+
+    def test_zero_mean_after_detrending(self):
+        beats, amps = _synthetic_beats()
+        _, edr = edr_series_from_amplitudes(beats, amps)
+        assert abs(np.mean(edr)) < 0.02
+
+    def test_respiratory_frequency_recovered(self):
+        beats, amps = _synthetic_beats(resp_rate=0.3)
+        _, edr = edr_series_from_amplitudes(beats, amps)
+        spectrum = np.abs(np.fft.rfft(edr * np.hanning(edr.size)))
+        freqs = np.fft.rfftfreq(edr.size, d=1.0 / EDR_FS)
+        assert freqs[np.argmax(spectrum)] == pytest.approx(0.3, abs=0.03)
+
+    def test_too_few_beats_raises(self):
+        with pytest.raises(ValueError):
+            edr_series_from_amplitudes(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+
+class TestEDRFromECG:
+    def test_end_to_end_respiration_recovery(self):
+        rng = np.random.default_rng(17)
+        duration = 240.0
+        respiration = generate_respiration(duration, [], rng)
+        series = generate_rr_series(duration, [], respiration, rng, RRModelParams(ectopic_rate=0.0))
+        ecg = synthesize_ecg(
+            series.beat_times_s, duration, respiration, rng, ECGWaveformParams(noise_mv=0.01)
+        )
+        t, edr = edr_series_from_ecg(ecg.ecg_mv, ecg.fs)
+        # The EDR spectrum should peak in the respiratory band (0.15–0.45 Hz).
+        spectrum = np.abs(np.fft.rfft(edr * np.hanning(edr.size)))
+        freqs = np.fft.rfftfreq(edr.size, d=1.0 / EDR_FS)
+        peak = freqs[np.argmax(spectrum[1:]) + 1]
+        assert 0.1 <= peak <= 0.55
+
+    def test_flat_signal_raises(self):
+        with pytest.raises(ValueError):
+            edr_series_from_ecg(np.zeros(128 * 30), 128.0)
+
+
+class TestARFeatures:
+    def test_length_and_order(self):
+        rng = np.random.default_rng(2)
+        edr = np.sin(2 * np.pi * 0.25 * np.arange(0, 180, 0.25)) + 0.05 * rng.standard_normal(720)
+        vec = ar_features(edr)
+        assert vec.shape == (AR_ORDER,) == (len(AR_FEATURE_NAMES),) == (9,)
+
+    def test_dominant_pole_tracks_breathing_rate(self):
+        t = np.arange(0, 300, 1.0 / EDR_FS)
+        rng = np.random.default_rng(3)
+        slow = np.sin(2 * np.pi * 0.2 * t) + 0.05 * rng.standard_normal(t.size)
+        fast = np.sin(2 * np.pi * 0.45 * t) + 0.05 * rng.standard_normal(t.size)
+        # a1 ≈ 2 cos(2π f / fs): decreases as the breathing rate rises.
+        assert ar_features(slow)[0] > ar_features(fast)[0]
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            ar_features(np.zeros(AR_ORDER))
+
+    def test_finite_for_noise_input(self):
+        edr = np.random.default_rng(4).standard_normal(400)
+        assert np.all(np.isfinite(ar_features(edr)))
+
+
+class TestPSDFeatures:
+    def test_length_and_band_count(self):
+        assert len(PSD_BANDS) == len(PSD_FEATURE_NAMES) == 29
+        edr = np.sin(2 * np.pi * 0.25 * np.arange(0, 180, 0.25))
+        assert psd_features(edr).shape == (29,)
+
+    def test_normalised_to_unit_sum(self):
+        rng = np.random.default_rng(5)
+        edr = rng.standard_normal(720)
+        vec = psd_features(edr)
+        assert vec.sum() == pytest.approx(1.0, rel=1e-6)
+        assert np.all(vec >= 0.0)
+
+    def test_power_concentrated_in_breathing_band(self):
+        t = np.arange(0, 300, 1.0 / EDR_FS)
+        edr = np.sin(2 * np.pi * 0.27 * t)
+        vec = psd_features(edr)
+        # 0.27 Hz falls in band index 5 (0.25–0.30 Hz).
+        assert np.argmax(vec) == 5
+
+    def test_band_shift_with_breathing_rate(self):
+        t = np.arange(0, 300, 1.0 / EDR_FS)
+        slow = psd_features(np.sin(2 * np.pi * 0.2 * t))
+        fast = psd_features(np.sin(2 * np.pi * 0.4 * t))
+        assert np.argmax(fast) > np.argmax(slow)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            psd_features(np.zeros(8))
+
+    def test_bands_are_contiguous(self):
+        for (lo1, hi1), (lo2, _) in zip(PSD_BANDS[:-1], PSD_BANDS[1:]):
+            assert hi1 == pytest.approx(lo2)

@@ -1,0 +1,111 @@
+"""Unit tests for the HRV and Lorenz-plot feature groups."""
+
+import numpy as np
+import pytest
+
+from repro.features.hrv import HRV_FEATURE_NAMES, hrv_features
+from repro.features.lorenz import LORENZ_FEATURE_NAMES, lorenz_features, poincare_sd
+
+
+def _rr_from_hr(hr_bpm, n=200, jitter=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    rr = 60.0 / hr_bpm * (1.0 + jitter * rng.standard_normal(n))
+    times = np.concatenate(([0.0], np.cumsum(rr)))
+    return rr, times
+
+
+class TestHRVFeatures:
+    def test_vector_length_and_names(self):
+        rr, times = _rr_from_hr(70.0, jitter=0.02)
+        vec = hrv_features(rr, times)
+        assert vec.shape == (len(HRV_FEATURE_NAMES),) == (8,)
+
+    def test_mean_rr_and_hr(self):
+        rr, times = _rr_from_hr(60.0, jitter=0.0)
+        vec = hrv_features(rr, times)
+        assert vec[0] == pytest.approx(1.0)      # mean RR = 1 s
+        assert vec[4] == pytest.approx(60.0)     # mean HR = 60 bpm
+
+    def test_constant_rr_has_zero_variability(self):
+        rr, times = _rr_from_hr(75.0, jitter=0.0)
+        vec = hrv_features(rr, times)
+        assert vec[1] == pytest.approx(0.0)      # SDNN
+        assert vec[2] == pytest.approx(0.0)      # RMSSD
+        assert vec[3] == pytest.approx(0.0)      # pNN50
+
+    def test_jitter_increases_variability(self):
+        rr_lo, t_lo = _rr_from_hr(70.0, jitter=0.01, seed=1)
+        rr_hi, t_hi = _rr_from_hr(70.0, jitter=0.08, seed=1)
+        assert hrv_features(rr_hi, t_hi)[2] > hrv_features(rr_lo, t_lo)[2]
+
+    def test_pnn50_definition(self):
+        # Alternating RR of 0.8 / 0.9 s: every successive difference is 100 ms.
+        rr = np.tile([0.8, 0.9], 50)
+        times = np.concatenate(([0.0], np.cumsum(rr)))
+        vec = hrv_features(rr, times)
+        assert vec[3] == pytest.approx(1.0)
+
+    def test_max_hr_reflects_shortest_rr(self):
+        rr = np.full(100, 0.8)
+        rr[50] = 0.5
+        times = np.concatenate(([0.0], np.cumsum(rr)))
+        vec = hrv_features(rr, times)
+        assert vec[5] == pytest.approx(120.0)
+
+    def test_requires_minimum_beats(self):
+        with pytest.raises(ValueError):
+            hrv_features(np.array([0.8, 0.8]), np.array([0.0, 0.8, 1.6]))
+
+    def test_all_finite(self):
+        rr, times = _rr_from_hr(80.0, jitter=0.05, seed=2)
+        assert np.all(np.isfinite(hrv_features(rr, times)))
+
+
+class TestLorenzFeatures:
+    def test_vector_length(self):
+        rr, _ = _rr_from_hr(70.0, jitter=0.03)
+        assert lorenz_features(rr).shape == (len(LORENZ_FEATURE_NAMES),) == (7,)
+
+    def test_sd1_sd2_for_uncorrelated_jitter(self):
+        rng = np.random.default_rng(3)
+        rr = 0.8 + 0.05 * rng.standard_normal(5000)
+        sd1, sd2 = poincare_sd(rr)
+        # For white jitter SD1 ≈ SD2 ≈ the sample standard deviation.
+        assert sd1 == pytest.approx(0.05, rel=0.1)
+        assert sd2 == pytest.approx(0.05, rel=0.1)
+
+    def test_slow_oscillation_gives_sd2_greater_than_sd1(self):
+        t = np.arange(2000)
+        rr = 0.8 + 0.1 * np.sin(2 * np.pi * t / 200.0)
+        sd1, sd2 = poincare_sd(rr)
+        assert sd2 > 3 * sd1
+
+    def test_alternans_gives_sd1_greater_than_sd2(self):
+        rr = np.tile([0.75, 0.85], 1000)
+        sd1, sd2 = poincare_sd(rr)
+        assert sd1 > 3 * sd2
+
+    def test_csi_is_sd2_over_sd1(self):
+        rng = np.random.default_rng(4)
+        rr = 0.8 + 0.03 * rng.standard_normal(1000)
+        vec = lorenz_features(rr)
+        sd1, sd2, ratio, area, csi, cvi, mcsi = vec
+        assert csi == pytest.approx(sd2 / sd1, rel=1e-6)
+        assert ratio == pytest.approx(sd1 / sd2, rel=1e-6)
+        assert area == pytest.approx(np.pi * sd1 * sd2, rel=1e-6)
+        assert mcsi == pytest.approx(sd2**2 / sd1, rel=1e-6)
+
+    def test_units_are_milliseconds(self):
+        rng = np.random.default_rng(5)
+        rr = 0.8 + 0.02 * rng.standard_normal(1000)
+        vec = lorenz_features(rr)
+        # SD1/SD2 of a 20 ms jitter should be of order 20 (ms), not 0.02 (s).
+        assert 5.0 < vec[0] < 60.0
+
+    def test_requires_minimum_beats(self):
+        with pytest.raises(ValueError):
+            lorenz_features(np.array([0.8, 0.8]))
+
+    def test_all_finite_for_constant_series(self):
+        vec = lorenz_features(np.full(50, 0.8))
+        assert np.all(np.isfinite(vec))

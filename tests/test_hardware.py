@@ -1,0 +1,145 @@
+"""Unit tests for the hardware area / energy models."""
+
+import pytest
+
+from repro.hardware.accelerator import AcceleratorConfig, evaluate_accelerator
+from repro.hardware.arithmetic import (
+    adder_area_um2,
+    adder_energy_pj,
+    multiplier_area_um2,
+    multiplier_energy_pj,
+    register_area_um2,
+    squarer_area_um2,
+)
+from repro.hardware.memory import sram_model
+from repro.hardware.technology import TECH_40NM, TechnologyParams
+
+
+class TestArithmeticModels:
+    def test_multiplier_scales_quadratically(self):
+        assert multiplier_area_um2(16, 16) == pytest.approx(4 * multiplier_area_um2(8, 8))
+        assert multiplier_energy_pj(32, 32) == pytest.approx(4 * multiplier_energy_pj(16, 16))
+
+    def test_adder_scales_linearly(self):
+        assert adder_area_um2(32) == pytest.approx(2 * adder_area_um2(16))
+        assert adder_energy_pj(64) == pytest.approx(2 * adder_energy_pj(32))
+
+    def test_squarer_half_of_multiplier(self):
+        assert squarer_area_um2(16) == pytest.approx(0.5 * multiplier_area_um2(16, 16))
+
+    def test_register_area_positive(self):
+        assert register_area_um2(8) > 0
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            multiplier_area_um2(0, 8)
+        with pytest.raises(ValueError):
+            adder_energy_pj(-4)
+
+
+class TestSramModel:
+    def test_capacity_and_area_monotonic(self):
+        small = sram_model(1000, 9)
+        large = sram_model(10000, 9)
+        assert large.capacity_bits == 10 * small.capacity_bits
+        assert large.area_um2 > small.area_um2
+
+    def test_read_energy_grows_with_word_and_capacity(self):
+        narrow = sram_model(4096, 9)
+        wide = sram_model(4096, 64)
+        assert wide.read_energy_pj > narrow.read_energy_pj
+        small = sram_model(512, 16)
+        big = sram_model(65536, 16)
+        assert big.read_energy_pj > small.read_energy_pj
+
+    def test_leakage_proportional_to_area(self):
+        macro = sram_model(8192, 16)
+        expected = TECH_40NM.sram_leakage_uw_per_mm2 * macro.area_mm2
+        assert macro.leakage_uw == pytest.approx(expected)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sram_model(0, 8)
+        with pytest.raises(ValueError):
+            sram_model(8, 0)
+
+
+class TestAcceleratorModel:
+    BASELINE = AcceleratorConfig(
+        n_features=53, n_support_vectors=120, feature_bits=64, coeff_bits=64,
+        per_feature_scaling=False, datapath_cap_bits=64,
+    )
+    OPTIMISED = AcceleratorConfig(
+        n_features=30, n_support_vectors=68, feature_bits=9, coeff_bits=15,
+        per_feature_scaling=True,
+    )
+
+    def test_baseline_lands_near_paper_axes(self):
+        report = evaluate_accelerator(self.BASELINE)
+        assert 1000.0 < report.energy_nj < 3000.0
+        assert 0.2 < report.area_mm2 < 0.6
+
+    def test_combined_gains_match_paper_order_of_magnitude(self):
+        baseline = evaluate_accelerator(self.BASELINE)
+        optimised = evaluate_accelerator(self.OPTIMISED)
+        energy_gain = baseline.energy_nj / optimised.energy_nj
+        area_gain = baseline.area_mm2 / optimised.area_mm2
+        assert 8.0 < energy_gain < 25.0
+        assert 8.0 < area_gain < 25.0
+
+    def test_energy_decreases_with_fewer_features(self):
+        few = AcceleratorConfig(n_features=23, n_support_vectors=120, feature_bits=64, coeff_bits=64)
+        many = AcceleratorConfig(n_features=53, n_support_vectors=120, feature_bits=64, coeff_bits=64)
+        assert evaluate_accelerator(few).energy_nj < evaluate_accelerator(many).energy_nj
+
+    def test_energy_decreases_with_fewer_support_vectors(self):
+        few = AcceleratorConfig(n_features=53, n_support_vectors=50, feature_bits=64, coeff_bits=64)
+        many = AcceleratorConfig(n_features=53, n_support_vectors=120, feature_bits=64, coeff_bits=64)
+        assert evaluate_accelerator(few).energy_nj < evaluate_accelerator(many).energy_nj
+
+    def test_area_decreases_with_narrower_words(self):
+        narrow = AcceleratorConfig(n_features=53, n_support_vectors=120, feature_bits=9, coeff_bits=15)
+        wide = AcceleratorConfig(n_features=53, n_support_vectors=120, feature_bits=32, coeff_bits=32)
+        assert evaluate_accelerator(narrow).area_mm2 < evaluate_accelerator(wide).area_mm2
+
+    def test_datapath_widths_grow_without_cap(self):
+        config = AcceleratorConfig(n_features=53, n_support_vectors=100, feature_bits=9, coeff_bits=15)
+        assert config.dot_accumulator_bits == 2 * 9 + 6
+        assert config.dot_output_bits == config.dot_accumulator_bits - 10
+        assert config.square_output_bits == 2 * config.dot_output_bits - 10
+
+    def test_datapath_cap_enforced(self):
+        config = AcceleratorConfig(
+            n_features=53, n_support_vectors=100, feature_bits=32, coeff_bits=32, datapath_cap_bits=32
+        )
+        assert config.dot_accumulator_bits == 32
+        assert config.square_output_bits == 32
+        assert config.mac2_accumulator_bits == 32
+
+    def test_cycles_per_classification(self):
+        config = AcceleratorConfig(n_features=10, n_support_vectors=5, feature_bits=9, coeff_bits=15)
+        assert config.cycles_per_classification == 10 * 5 + 2 * 5 + 4
+
+    def test_breakdowns_sum_to_totals(self):
+        report = evaluate_accelerator(self.OPTIMISED)
+        assert sum(report.area_breakdown_um2.values()) * 1e-6 == pytest.approx(report.area_mm2)
+        assert sum(report.energy_breakdown_nj.values()) == pytest.approx(report.energy_nj)
+
+    def test_per_feature_scaling_adds_overhead(self):
+        base = AcceleratorConfig(n_features=30, n_support_vectors=68, feature_bits=9, coeff_bits=15,
+                                 per_feature_scaling=False)
+        scaled = AcceleratorConfig(n_features=30, n_support_vectors=68, feature_bits=9, coeff_bits=15,
+                                   per_feature_scaling=True)
+        assert evaluate_accelerator(scaled).area_mm2 > evaluate_accelerator(base).area_mm2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(n_features=0, n_support_vectors=10)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(n_features=10, n_support_vectors=10, feature_bits=0)
+
+    def test_custom_technology_scales_results(self):
+        cheap = TechnologyParams(full_adder_energy_pj=TECH_40NM.full_adder_energy_pj / 2)
+        report_default = evaluate_accelerator(self.BASELINE)
+        report_cheap = evaluate_accelerator(self.BASELINE, cheap)
+        assert report_cheap.energy_nj < report_default.energy_nj

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.metrics import ClassificationMetrics, geometric_mean
+from repro.dsp.ar import ar_burg
+from repro.dsp.psd import welch_psd
+from repro.quant.fixed_point import int_bounds, quantize_to_int, scale_for_exponent, truncate_lsbs
+from repro.quant.ranges import feature_range_exponents, global_range_exponent
+from repro.svm.kernels import GaussianKernel, LinearKernel, PolynomialKernel
+from repro.svm.scaling import PowerOfTwoScaler, StandardScaler
+from repro.svm.smo import SMOParams, smo_solve
+
+
+# --------------------------------------------------------------------------
+# Fixed-point helpers
+# --------------------------------------------------------------------------
+
+@given(
+    values=hnp.arrays(np.float64, st.integers(1, 50), elements=st.floats(-1e6, 1e6)),
+    exponent=st.integers(-8, 12),
+    bits=st.integers(3, 24),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantized_values_fit_word_and_error_bounded(values, exponent, bits):
+    scale = scale_for_exponent(exponent, bits)
+    q = quantize_to_int(values, scale, bits)
+    lo, hi = int_bounds(bits)
+    assert np.all(q >= lo) and np.all(q <= hi)
+    # Inside the representable range the rounding error is at most half an LSB.
+    representable = (values >= lo * scale) & (values <= hi * scale)
+    reconstructed = q.astype(float) * scale
+    assert np.all(np.abs(reconstructed[representable] - values[representable]) <= scale / 2 + 1e-12)
+
+
+@given(value=st.integers(-(2**60), 2**60), n_bits=st.integers(0, 20))
+@settings(max_examples=80, deadline=None)
+def test_truncation_is_floor_division(value, n_bits):
+    assert truncate_lsbs(value, n_bits) == value // (1 << n_bits)
+
+
+@given(
+    sv=hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(2, 30), st.integers(1, 8)),
+        elements=st.floats(-1e3, 1e3, allow_nan=False),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_global_range_exponent_dominates_per_feature(sv):
+    exponents = feature_range_exponents(sv)
+    assert global_range_exponent(sv) == exponents.max()
+    assert np.all(exponents >= -16) and np.all(exponents <= 15)
+
+
+# --------------------------------------------------------------------------
+# Metrics
+# --------------------------------------------------------------------------
+
+@given(tp=st.integers(0, 500), tn=st.integers(0, 500), fp=st.integers(0, 500), fn=st.integers(0, 500))
+@settings(max_examples=100, deadline=None)
+def test_metrics_bounded_and_consistent(tp, tn, fp, fn):
+    metrics = ClassificationMetrics(tp, tn, fp, fn)
+    if metrics.sensitivity is not None:
+        assert 0.0 <= metrics.sensitivity <= 1.0
+    if metrics.specificity is not None:
+        assert 0.0 <= metrics.specificity <= 1.0
+    if metrics.gm is not None:
+        assert metrics.gm <= max(metrics.sensitivity, metrics.specificity) + 1e-12
+        assert metrics.gm >= 0.0
+        assert metrics.gm == pytest.approx(geometric_mean(metrics.sensitivity, metrics.specificity))
+
+
+@given(se=st.floats(0, 1), sp=st.floats(0, 1))
+@settings(max_examples=100, deadline=None)
+def test_geometric_mean_between_zero_and_max(se, sp):
+    gm = geometric_mean(se, sp)
+    assert 0.0 <= gm <= max(se, sp) + 1e-12
+    assert gm >= min(se, sp) - 1e-12 or gm <= max(se, sp)
+
+
+# --------------------------------------------------------------------------
+# Kernels and scalers
+# --------------------------------------------------------------------------
+
+_points = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(2, 12), st.integers(1, 6)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+@given(a=_points)
+@settings(max_examples=40, deadline=None)
+def test_kernel_gram_matrices_symmetric_psd(a):
+    for kernel in (LinearKernel(), PolynomialKernel(degree=2), GaussianKernel()):
+        gram = kernel(a, a)
+        assert np.allclose(gram, gram.T, atol=1e-8)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() >= -1e-6 * max(1.0, abs(eigenvalues.max()))
+
+
+@given(a=_points)
+@settings(max_examples=40, deadline=None)
+def test_kernel_diagonal_matches_gram(a):
+    for kernel in (LinearKernel(), PolynomialKernel(degree=2), GaussianKernel(gamma=0.5)):
+        assert np.allclose(kernel.diagonal(a), np.diag(kernel(a, a)), atol=1e-9)
+
+
+@given(
+    X=hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(3, 40), st.integers(1, 6)),
+        elements=st.floats(-1e4, 1e4, allow_nan=False),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_standard_scaler_roundtrip_and_unit_variance(X):
+    scaler = StandardScaler().fit(X)
+    scaled = scaler.transform(X)
+    assert np.allclose(scaler.inverse_transform(scaled), X, atol=1e-6 * (1 + np.abs(X).max()))
+    std = scaled.std(axis=0)
+    informative = X.std(axis=0) > 1e-9
+    assert np.allclose(std[informative], 1.0, atol=1e-6)
+
+
+@given(
+    X=hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(3, 40), st.integers(1, 6)),
+        elements=st.floats(-1e4, 1e4, allow_nan=False),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_pow2_scaler_uses_power_of_two_factors(X):
+    scaler = PowerOfTwoScaler().fit(X)
+    exponents = np.log2(scaler.scale_)
+    assert np.allclose(exponents, np.round(exponents))
+    assert np.allclose(scaler.mean_, 0.0)
+
+
+# --------------------------------------------------------------------------
+# SMO dual feasibility
+# --------------------------------------------------------------------------
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_per_class=st.integers(4, 20),
+    c=st.floats(0.1, 10.0),
+    separation=st.floats(0.0, 4.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_smo_solution_always_dual_feasible(seed, n_per_class, c, separation):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [
+            rng.normal(loc=separation / 2, scale=1.0, size=(n_per_class, 3)),
+            rng.normal(loc=-separation / 2, scale=1.0, size=(n_per_class, 3)),
+        ]
+    )
+    y = np.concatenate([np.ones(n_per_class), -np.ones(n_per_class)])
+    result = smo_solve(X @ X.T, y, SMOParams(c_positive=c, c_negative=c, max_iter=20_000))
+    assert np.all(result.alpha >= -1e-9)
+    assert np.all(result.alpha <= c + 1e-6)
+    assert abs(np.dot(result.alpha, y)) < 1e-4 * max(1.0, c)
+
+
+# --------------------------------------------------------------------------
+# DSP invariants
+# --------------------------------------------------------------------------
+
+@given(
+    seed=st.integers(0, 1000),
+    order=st.integers(1, 8),
+    n=st.integers(64, 400),
+)
+@settings(max_examples=30, deadline=None)
+def test_burg_noise_variance_non_negative_and_bounded(seed, order, n):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    coeffs, variance = ar_burg(x, order)
+    assert coeffs.shape == (order,)
+    assert variance >= 0.0
+    # The prediction-error variance can never exceed the signal power.
+    assert variance <= np.dot(x, x) / n + 1e-9
+
+
+@given(seed=st.integers(0, 1000), n=st.integers(64, 1024))
+@settings(max_examples=30, deadline=None)
+def test_welch_psd_non_negative(seed, n):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    freqs, psd = welch_psd(x, fs=4.0, segment_length=min(128, n))
+    assert np.all(psd >= 0.0)
+    assert freqs[0] == 0.0
+    # The last bin sits at (or just below, for odd segment lengths) Nyquist.
+    assert 1.8 <= freqs[-1] <= 2.0 + 1e-9

@@ -1,0 +1,115 @@
+"""Unit tests for the fixed-point helpers and range-exponent selection."""
+
+import numpy as np
+import pytest
+
+from repro.quant.fixed_point import int_bounds, quantize_to_int, saturate, scale_for_exponent, truncate_lsbs
+from repro.quant.ranges import (
+    coefficient_range_exponent,
+    feature_range_exponents,
+    global_range_exponent,
+)
+
+
+class TestFixedPointHelpers:
+    def test_int_bounds_symmetric_two_complement(self):
+        assert int_bounds(8) == (-128, 127)
+        assert int_bounds(2) == (-2, 1)
+
+    def test_int_bounds_rejects_tiny_words(self):
+        with pytest.raises(ValueError):
+            int_bounds(1)
+
+    def test_scale_for_exponent(self):
+        # A 9-bit word covering [-2^1, 2^1) has an LSB of 2^(1-8) = 1/256.
+        assert scale_for_exponent(1, 9) == pytest.approx(2.0**-7)
+        assert scale_for_exponent(0, 2) == pytest.approx(0.5)
+
+    def test_saturate_clamps(self):
+        values = np.array([-300, -128, 0, 127, 300])
+        assert np.array_equal(saturate(values, 8), [-128, -128, 0, 127, 127])
+
+    def test_quantize_round_and_saturate(self):
+        scale = 0.25
+        q = quantize_to_int(np.array([0.24, 0.26, 100.0, -100.0]), scale, 8)
+        assert q[0] == 1       # 0.24/0.25 = 0.96 → 1
+        assert q[1] == 1
+        assert q[2] == 127     # saturated
+        assert q[3] == -128    # saturated
+
+    def test_quantize_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            quantize_to_int(np.zeros(3), 0.0, 8)
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-1.0, 1.0, 100)
+        scale = scale_for_exponent(0, 12)
+        q = quantize_to_int(values, scale, 12)
+        assert np.max(np.abs(q * scale - values)) <= scale / 2 + 1e-12
+
+    def test_truncate_lsbs_matches_floor_division(self):
+        assert truncate_lsbs(1023, 3) == 127
+        assert truncate_lsbs(-1023, 3) == -128  # arithmetic shift floors
+        assert truncate_lsbs(5, 0) == 5
+
+    def test_truncate_lsbs_on_arrays(self):
+        arr = np.array([16, -16, 31], dtype=np.int64)
+        assert np.array_equal(truncate_lsbs(arr, 4), [1, -1, 1])
+
+    def test_truncate_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            truncate_lsbs(5, -1)
+
+
+class TestRangeExponents:
+    def test_exponent_covers_statistics_and_extremes(self):
+        rng = np.random.default_rng(1)
+        sv = np.column_stack([
+            rng.normal(0.0, 1.0, 400),
+            rng.normal(0.0, 3.0, 400),
+            rng.normal(10.0, 1.0, 400),
+            rng.normal(0.0, 0.1, 400),
+        ])
+        exponents = feature_range_exponents(sv, n_sigma=1.0)
+        mean = sv.mean(axis=0)
+        std = sv.std(axis=0)
+        for j in range(sv.shape[1]):
+            bound = 2.0 ** exponents[j]
+            # Covers mean ± σ (Equation 6) and the stored SV extremes.
+            assert bound >= abs(mean[j] + std[j]) and bound >= abs(mean[j] - std[j])
+            assert bound >= np.abs(sv[:, j]).max()
+            # ...and is the smallest such power of two.
+            needed = max(abs(mean[j] + std[j]), abs(mean[j] - std[j]), np.abs(sv[:, j]).max())
+            assert bound / 2.0 < needed
+        # Wider-magnitude features receive larger exponents.
+        assert exponents[2] > exponents[0] > exponents[3]
+
+    def test_wider_margin_gives_larger_exponents(self):
+        rng = np.random.default_rng(11)
+        sv = rng.normal(0.0, 1.0, size=(400, 3))
+        assert np.all(
+            feature_range_exponents(sv, n_sigma=3.0) >= feature_range_exponents(sv, n_sigma=1.0)
+        )
+
+    def test_global_exponent_is_max(self):
+        rng = np.random.default_rng(2)
+        sv = np.column_stack([rng.normal(0, 1, 100), rng.normal(0, 8, 100)])
+        assert global_range_exponent(sv) == feature_range_exponents(sv).max()
+
+    def test_constant_feature_gets_minimum_exponent(self):
+        sv = np.zeros((50, 1))
+        assert feature_range_exponents(sv)[0] == -16
+
+    def test_coefficient_exponent_for_unit_bound(self):
+        assert coefficient_range_exponent(np.array([0.5, -0.9, 0.99])) == 0
+
+    def test_coefficient_exponent_grows_with_weighted_c(self):
+        assert coefficient_range_exponent(np.array([3.5, -1.0])) == 2
+
+    def test_coefficient_exponent_empty(self):
+        assert coefficient_range_exponent(np.array([])) == 0
+
+    def test_exponents_clamped(self):
+        sv = np.full((10, 1), 1e12)
+        assert feature_range_exponents(sv)[0] == 15

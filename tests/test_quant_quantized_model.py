@@ -1,0 +1,142 @@
+"""Unit tests for the bit-accurate fixed-point inference pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.quant.quantized_model import QuantizationConfig, QuantizedSVM
+from repro.svm.kernels import GaussianKernel, PolynomialKernel
+from repro.svm.model import SVMTrainParams, train_svm
+
+
+@pytest.fixture(scope="module")
+def trained(feature_matrix):
+    model = train_svm(
+        feature_matrix.X,
+        feature_matrix.y,
+        kernel=PolynomialKernel(degree=2),
+        params=SVMTrainParams(),
+    )
+    return model, feature_matrix
+
+
+class TestConstruction:
+    def test_rejects_non_quadratic_kernel(self, feature_matrix):
+        gaussian = train_svm(feature_matrix.X, feature_matrix.y, kernel=GaussianKernel())
+        with pytest.raises(ValueError):
+            QuantizedSVM(gaussian)
+        cubic = train_svm(feature_matrix.X, feature_matrix.y, kernel=PolynomialKernel(degree=3))
+        with pytest.raises(ValueError):
+            QuantizedSVM(cubic)
+
+    def test_rejects_scaled_quadratic_kernel(self, feature_matrix):
+        scaled = train_svm(
+            feature_matrix.X, feature_matrix.y, kernel=PolynomialKernel(degree=2, gamma=0.1)
+        )
+        with pytest.raises(ValueError):
+            QuantizedSVM(scaled)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QuantizationConfig(feature_bits=1)
+        with pytest.raises(ValueError):
+            QuantizationConfig(truncate_after_dot=-1)
+
+    def test_integer_artifacts_have_expected_shapes(self, trained):
+        model, _ = trained
+        quantized = QuantizedSVM(model, QuantizationConfig(feature_bits=9, coeff_bits=15))
+        assert quantized.sv_int.shape == model.support_vectors.shape
+        assert quantized.coeff_int.shape == model.dual_coef.shape
+        assert quantized.range_exponents.shape == (model.n_features,)
+
+    def test_feature_words_fit_width(self, trained):
+        model, _ = trained
+        bits = 9
+        quantized = QuantizedSVM(model, QuantizationConfig(feature_bits=bits, coeff_bits=15))
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        assert quantized.sv_int.min() >= lo and quantized.sv_int.max() <= hi
+
+    def test_coeff_words_fit_width(self, trained):
+        model, _ = trained
+        bits = 15
+        quantized = QuantizedSVM(model, QuantizationConfig(feature_bits=9, coeff_bits=bits))
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        assert quantized.coeff_int.min() >= lo and quantized.coeff_int.max() <= hi
+
+
+class TestInferenceAccuracy:
+    def test_wide_words_match_float_predictions(self, trained):
+        model, features = trained
+        quantized = QuantizedSVM(
+            model, QuantizationConfig(feature_bits=24, coeff_bits=24, per_feature_scaling=True)
+        )
+        agreement = np.mean(quantized.predict(features.X) == model.predict(features.X))
+        assert agreement > 0.98
+
+    def test_paper_point_close_to_float(self, trained):
+        model, features = trained
+        quantized = QuantizedSVM(model, QuantizationConfig(feature_bits=9, coeff_bits=15))
+        agreement = np.mean(quantized.predict(features.X) == model.predict(features.X))
+        assert agreement > 0.9
+
+    def test_very_low_precision_degrades(self, trained):
+        model, features = trained
+        coarse = QuantizedSVM(model, QuantizationConfig(feature_bits=3, coeff_bits=4))
+        fine = QuantizedSVM(model, QuantizationConfig(feature_bits=12, coeff_bits=16))
+        float_pred = model.predict(features.X)
+        agreement_coarse = np.mean(coarse.predict(features.X) == float_pred)
+        agreement_fine = np.mean(fine.predict(features.X) == float_pred)
+        assert agreement_fine >= agreement_coarse
+
+    def test_decision_function_tracks_float(self, trained):
+        model, features = trained
+        quantized = QuantizedSVM(model, QuantizationConfig(feature_bits=12, coeff_bits=16))
+        approx = quantized.decision_function(features.X[:40])
+        exact = model.decision_function(features.X[:40])
+        correlation = np.corrcoef(approx, exact)[0, 1]
+        assert correlation > 0.99
+
+    def test_exact_path_matches_fast_path(self, trained):
+        """The arbitrary-precision path must agree with the int64 fast path."""
+        model, features = trained
+        config = QuantizationConfig(feature_bits=9, coeff_bits=15)
+        quantized = QuantizedSVM(model, config)
+        assert quantized._use_fast_path
+        X = features.X[:25]
+        fast = np.asarray(quantized._accumulate(quantized.quantize_input(X)))
+        exact = np.asarray(
+            [int(v) for v in quantized._accumulate_exact(quantized.quantize_input(X))]
+        )
+        assert np.array_equal(fast.astype(object), exact)
+
+    def test_wide_config_uses_exact_path(self, trained):
+        model, _ = trained
+        quantized = QuantizedSVM(model, QuantizationConfig(feature_bits=40, coeff_bits=40))
+        assert not quantized._use_fast_path
+
+    def test_global_scaling_variant_runs(self, trained):
+        model, features = trained
+        quantized = QuantizedSVM(
+            model,
+            QuantizationConfig(feature_bits=16, coeff_bits=16, per_feature_scaling=False),
+        )
+        assert len(np.unique(quantized.range_exponents)) == 1
+        predictions = quantized.predict(features.X[:20])
+        assert set(np.unique(predictions)).issubset({-1, 1})
+
+    def test_predict_validates_feature_count(self, trained):
+        model, _ = trained
+        quantized = QuantizedSVM(model, QuantizationConfig())
+        with pytest.raises(ValueError):
+            quantized.predict(np.zeros((2, 3)))
+
+
+class TestAcceleratorConfigBridge:
+    def test_config_matches_model_dimensions(self, trained):
+        model, _ = trained
+        quantized = QuantizedSVM(model, QuantizationConfig(feature_bits=9, coeff_bits=15))
+        config = quantized.accelerator_config()
+        assert config.n_features == model.n_features
+        assert config.n_support_vectors == model.n_support_vectors
+        assert config.feature_bits == 9
+        assert config.coeff_bits == 15
+        assert config.per_feature_scaling is True

@@ -1,0 +1,125 @@
+"""Unit tests for the cohort generator and the windowing stage."""
+
+import numpy as np
+import pytest
+
+from repro.signals.dataset import CohortParams, generate_cohort
+from repro.signals.seizures import Seizure
+from repro.signals.windows import WindowingParams, extract_windows, window_label
+from tests.conftest import TEST_COHORT_PARAMS
+
+
+class TestGenerateCohort:
+    def test_structure_matches_params(self, small_cohort):
+        assert len(small_cohort.patients) == TEST_COHORT_PARAMS.n_patients
+        assert small_cohort.n_recordings == TEST_COHORT_PARAMS.n_sessions
+
+    def test_total_seizure_count(self, small_cohort):
+        assert small_cohort.n_seizures == TEST_COHORT_PARAMS.total_seizures
+
+    def test_total_duration(self, small_cohort):
+        expected_hours = TEST_COHORT_PARAMS.n_sessions * TEST_COHORT_PARAMS.session_duration_s / 3600.0
+        assert small_cohort.total_duration_hours == pytest.approx(expected_hours)
+
+    def test_recordings_have_beats_and_amplitudes(self, small_cohort):
+        for recording in small_cohort.recordings:
+            assert recording.n_beats > 100
+            assert recording.r_amplitudes_mv.shape == recording.beat_times_s.shape
+            assert recording.rr_s.shape[0] == recording.n_beats - 1
+
+    def test_session_ids_unique(self, small_cohort):
+        ids = [r.session_id for r in small_cohort.recordings]
+        assert len(set(ids)) == len(ids)
+
+    def test_patient_baselines_vary(self, small_cohort):
+        baselines = [p.base_hr_bpm for p in small_cohort.patients]
+        assert np.std(baselines) > 0.0
+
+    def test_phenotypes_in_range(self, small_cohort):
+        for patient in small_cohort.patients:
+            assert 0.2 <= patient.hr_response <= 1.0
+            assert 0.2 <= patient.rsa_response <= 1.0
+
+    def test_deterministic_given_seed(self):
+        params = CohortParams(n_patients=2, n_sessions=2, session_duration_s=1200.0, total_seizures=2, seed=99)
+        a = generate_cohort(params)
+        b = generate_cohort(params)
+        assert np.allclose(a.recordings[0].beat_times_s, b.recordings[0].beat_times_s)
+
+    def test_summary_keys(self, small_cohort):
+        summary = small_cohort.summary()
+        assert set(summary) == {"n_patients", "n_recordings", "n_seizures", "total_duration_hours"}
+
+    def test_render_ecg_produces_waveform(self):
+        params = CohortParams(
+            n_patients=1, n_sessions=1, session_duration_s=900.0, total_seizures=1, seed=5, render_ecg=True
+        )
+        cohort = generate_cohort(params)
+        recording = cohort.recordings[0]
+        assert recording.ecg is not None
+        assert recording.ecg.ecg_mv.size == int(900.0 * recording.ecg.fs) + 1
+
+
+class TestWindowLabel:
+    def test_label_positive_when_overlapping_enough(self):
+        seizure = Seizure(onset_s=100.0, duration_s=60.0)
+        assert window_label(90.0, 270.0, [seizure], min_ictal_fraction=0.05) == 1
+
+    def test_label_negative_when_no_overlap(self):
+        seizure = Seizure(onset_s=1000.0, duration_s=60.0)
+        assert window_label(0.0, 180.0, [seizure], min_ictal_fraction=0.05) == -1
+
+    def test_label_negative_when_overlap_below_threshold(self):
+        seizure = Seizure(onset_s=179.0, duration_s=60.0)
+        # Only one second of a 180-second window is ictal (0.56% < 5%).
+        assert window_label(0.0, 180.0, [seizure], min_ictal_fraction=0.05) == -1
+
+
+class TestExtractWindows:
+    def test_windows_cover_recording(self, small_cohort):
+        recording = small_cohort.recordings[0]
+        windows = extract_windows(recording)
+        assert len(windows) > 0
+        assert all(w.end_s <= recording.duration_s + 1e-9 for w in windows)
+
+    def test_window_duration(self, small_cohort):
+        recording = small_cohort.recordings[0]
+        for window in extract_windows(recording, WindowingParams(window_s=120.0, step_s=120.0)):
+            assert window.duration_s == pytest.approx(120.0)
+
+    def test_labels_are_plus_minus_one(self, small_cohort):
+        for recording in small_cohort.recordings:
+            for window in extract_windows(recording):
+                assert window.label in (-1, 1)
+
+    def test_sessions_with_seizures_have_positive_windows(self, small_cohort):
+        for recording in small_cohort.recordings:
+            if recording.n_seizures == 0:
+                continue
+            labels = [w.label for w in extract_windows(recording)]
+            assert 1 in labels
+
+    def test_seizure_free_sessions_have_no_positive_windows(self, small_cohort):
+        for recording in small_cohort.recordings:
+            if recording.n_seizures > 0:
+                continue
+            labels = [w.label for w in extract_windows(recording)]
+            assert 1 not in labels
+
+    def test_enrichment_adds_windows(self, small_cohort):
+        recording = next(r for r in small_cohort.recordings if r.n_seizures > 0)
+        sparse = extract_windows(recording, WindowingParams(seizure_step_s=180.0, step_s=180.0))
+        dense = extract_windows(recording, WindowingParams(seizure_step_s=45.0, step_s=180.0))
+        assert len(dense) > len(sparse)
+
+    def test_beat_slice_consistent_with_times(self, small_cohort):
+        recording = small_cohort.recordings[0]
+        for window in extract_windows(recording)[:5]:
+            beats = window.beats_of(recording)
+            assert np.all(beats >= window.start_s - 1e-9)
+            assert np.all(beats <= window.end_s + 1e-9)
+
+    def test_min_beats_filter(self, small_cohort):
+        recording = small_cohort.recordings[0]
+        windows = extract_windows(recording, WindowingParams(min_beats=10**6))
+        assert windows == []

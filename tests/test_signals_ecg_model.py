@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic ECG waveform synthesiser."""
+
+import numpy as np
+import pytest
+
+from repro.signals.ecg_model import ECGWaveformParams, modulated_r_amplitudes, synthesize_ecg
+from repro.signals.respiration import generate_respiration
+from repro.signals.rr_model import RRModelParams, generate_rr_series
+
+
+@pytest.fixture(scope="module")
+def short_session():
+    rng = np.random.default_rng(21)
+    duration = 240.0
+    respiration = generate_respiration(duration, [], rng)
+    series = generate_rr_series(duration, [], respiration, rng, RRModelParams(ectopic_rate=0.0))
+    return duration, respiration, series, rng
+
+
+class TestModulatedRAmplitudes:
+    def test_shape_matches_beats(self, short_session):
+        duration, respiration, series, rng = short_session
+        amps = modulated_r_amplitudes(series.beat_times_s, respiration, np.random.default_rng(0))
+        assert amps.shape == series.beat_times_s.shape
+
+    def test_mean_close_to_base_amplitude(self, short_session):
+        _, respiration, series, _ = short_session
+        amps = modulated_r_amplitudes(
+            series.beat_times_s, respiration, np.random.default_rng(0), base_amplitude_mv=1.0
+        )
+        assert np.mean(amps) == pytest.approx(1.0, abs=0.1)
+
+    def test_modulation_depth_scales(self, short_session):
+        _, respiration, series, _ = short_session
+        weak = modulated_r_amplitudes(
+            series.beat_times_s, respiration, np.random.default_rng(0), edr_modulation=0.02, amplitude_jitter=0.0
+        )
+        strong = modulated_r_amplitudes(
+            series.beat_times_s, respiration, np.random.default_rng(0), edr_modulation=0.3, amplitude_jitter=0.0
+        )
+        assert np.std(strong) > np.std(weak)
+
+
+class TestSynthesizeECG:
+    def test_output_length(self, short_session):
+        duration, respiration, series, _ = short_session
+        ecg = synthesize_ecg(series.beat_times_s, duration, respiration, np.random.default_rng(1))
+        assert ecg.ecg_mv.shape == ecg.t.shape
+        assert ecg.t[-1] == pytest.approx(duration, abs=1.0 / ecg.fs + 1e-9)
+
+    def test_r_peaks_dominate_signal(self, short_session):
+        duration, respiration, series, _ = short_session
+        params = ECGWaveformParams(noise_mv=0.0, baseline_wander_mv=0.0)
+        ecg = synthesize_ecg(series.beat_times_s, duration, respiration, np.random.default_rng(1), params)
+        # The maximum of the trace should be close to the R amplitude (~1 mV).
+        assert 0.7 < ecg.ecg_mv.max() < 1.6
+
+    def test_signal_energy_near_beats(self, short_session):
+        duration, respiration, series, _ = short_session
+        params = ECGWaveformParams(noise_mv=0.0, baseline_wander_mv=0.0)
+        ecg = synthesize_ecg(series.beat_times_s, duration, respiration, np.random.default_rng(1), params)
+        beat = series.beat_times_s[10]
+        idx = int(beat * ecg.fs)
+        window = ecg.ecg_mv[max(idx - 3, 0) : idx + 4]
+        assert window.max() > 0.5
+
+    def test_requires_at_least_two_beats(self, short_session):
+        duration, respiration, _, _ = short_session
+        with pytest.raises(ValueError):
+            synthesize_ecg(np.array([1.0]), duration, respiration, np.random.default_rng(1))
+
+    def test_custom_sampling_rate(self, short_session):
+        duration, respiration, series, _ = short_session
+        params = ECGWaveformParams(fs=64.0)
+        ecg = synthesize_ecg(series.beat_times_s, duration, respiration, np.random.default_rng(1), params)
+        assert ecg.fs == 64.0
+        assert ecg.ecg_mv.size == int(np.ceil(duration * 64.0)) + 1

@@ -1,0 +1,120 @@
+"""Unit tests for the respiration model and the shared seizure envelope."""
+
+import numpy as np
+import pytest
+
+from repro.signals.respiration import (
+    RespirationParams,
+    generate_respiration,
+    seizure_envelope,
+)
+from repro.signals.seizures import Seizure
+
+
+class TestSeizureEnvelope:
+    def setup_method(self):
+        self.t = np.arange(0.0, 1200.0, 0.25)
+        self.seizure = Seizure(onset_s=600.0, duration_s=60.0, preictal_s=60.0, postictal_s=120.0)
+
+    def test_zero_without_seizures(self):
+        assert np.all(seizure_envelope(self.t, []) == 0.0)
+
+    def test_plateau_during_ictal_phase(self):
+        env = seizure_envelope(self.t, [self.seizure])
+        ictal = (self.t >= 600.0) & (self.t < 660.0)
+        assert np.allclose(env[ictal], 1.0)
+
+    def test_zero_far_from_seizure(self):
+        env = seizure_envelope(self.t, [self.seizure])
+        assert np.all(env[self.t < 500.0] == 0.0)
+
+    def test_preictal_ramp_monotonic(self):
+        env = seizure_envelope(self.t, [self.seizure])
+        pre = (self.t >= 540.0) & (self.t < 600.0)
+        assert np.all(np.diff(env[pre]) >= -1e-12)
+
+    def test_postictal_decay(self):
+        env = seizure_envelope(self.t, [self.seizure])
+        post = (self.t >= 660.0) & (self.t < 780.0)
+        assert np.all(np.diff(env[post]) <= 1e-12)
+
+    def test_bounded_zero_one(self):
+        env = seizure_envelope(self.t, [self.seizure])
+        assert np.all(env >= 0.0) and np.all(env <= 1.0)
+
+    def test_intensity_scales_plateau(self):
+        weak = Seizure(onset_s=600.0, duration_s=60.0, intensity=0.5)
+        env = seizure_envelope(self.t, [weak], use_intensity=True)
+        ictal = (self.t >= 600.0) & (self.t < 660.0)
+        assert np.allclose(env[ictal], 0.5)
+
+    def test_intensity_ignored_by_default(self):
+        weak = Seizure(onset_s=600.0, duration_s=60.0, intensity=0.5)
+        env = seizure_envelope(self.t, [weak])
+        ictal = (self.t >= 600.0) & (self.t < 660.0)
+        assert np.allclose(env[ictal], 1.0)
+
+    def test_two_seizures_take_maximum(self):
+        other = Seizure(onset_s=300.0, duration_s=30.0)
+        env = seizure_envelope(self.t, [self.seizure, other])
+        assert env[np.searchsorted(self.t, 310.0)] == pytest.approx(1.0)
+        assert env[np.searchsorted(self.t, 610.0)] == pytest.approx(1.0)
+
+
+class TestGenerateRespiration:
+    def _make(self, seizures=(), duration=900.0, seed=0, params=None):
+        rng = np.random.default_rng(seed)
+        return generate_respiration(duration, list(seizures), rng, params)
+
+    def test_output_lengths_consistent(self):
+        resp = self._make()
+        assert resp.t.shape == resp.rate_hz.shape == resp.depth.shape == resp.waveform.shape
+
+    def test_sampling_rate_respected(self):
+        resp = self._make()
+        assert resp.fs == pytest.approx(4.0)
+        assert np.allclose(np.diff(resp.t), 0.25)
+
+    def test_rate_within_physiological_bounds(self):
+        resp = self._make()
+        assert np.all(resp.rate_hz >= 0.1) and np.all(resp.rate_hz <= 0.8)
+
+    def test_seizure_raises_breathing_rate(self):
+        seizure = Seizure(onset_s=450.0, duration_s=90.0)
+        resp = self._make([seizure])
+        ictal = (resp.t >= 450.0) & (resp.t < 540.0)
+        baseline = resp.t < 300.0
+        assert resp.rate_hz[ictal].mean() > resp.rate_hz[baseline].mean()
+
+    def test_seizure_reduces_breathing_depth(self):
+        seizure = Seizure(onset_s=450.0, duration_s=90.0)
+        resp = self._make([seizure])
+        ictal = (resp.t >= 450.0) & (resp.t < 540.0)
+        baseline = resp.t < 300.0
+        assert resp.depth[ictal].mean() < resp.depth[baseline].mean()
+
+    def test_value_at_interpolates_within_range(self):
+        resp = self._make()
+        samples = resp.value_at(np.array([10.0, 100.5, 899.0]))
+        assert samples.shape == (3,)
+        assert np.all(np.abs(samples) <= np.max(np.abs(resp.waveform)) + 1e-9)
+
+    def test_waveform_oscillates(self):
+        resp = self._make()
+        # Roughly base_rate * duration breathing cycles → many sign changes.
+        sign_changes = np.sum(np.diff(np.sign(resp.waveform)) != 0)
+        assert sign_changes > 100
+
+    def test_deterministic_given_seed(self):
+        a = self._make(seed=3)
+        b = self._make(seed=3)
+        assert np.allclose(a.waveform, b.waveform)
+
+    def test_arousals_raise_rate(self):
+        arousal = Seizure(onset_s=450.0, duration_s=120.0, preictal_s=30.0, postictal_s=60.0)
+        params = RespirationParams()
+        quiet = self._make(duration=900.0, seed=5, params=params)
+        rng = np.random.default_rng(5)
+        active = generate_respiration(900.0, [], rng, params, arousals=[arousal])
+        window = (quiet.t >= 450.0) & (quiet.t < 570.0)
+        assert active.rate_hz[window].mean() > quiet.rate_hz[window].mean()

@@ -1,0 +1,117 @@
+"""Unit tests for the RR-interval (beat) generator."""
+
+import numpy as np
+import pytest
+
+from repro.signals.respiration import generate_respiration
+from repro.signals.rr_model import RRModelParams, generate_rr_series
+from repro.signals.seizures import Seizure
+
+
+def _make_series(seizures=(), duration=900.0, seed=0, params=None, **kwargs):
+    rng = np.random.default_rng(seed)
+    respiration = generate_respiration(duration, list(seizures), rng, None)
+    return generate_rr_series(duration, list(seizures), respiration, rng, params, **kwargs)
+
+
+class TestRRSeriesBasics:
+    def test_beat_times_monotonic(self):
+        series = _make_series()
+        assert np.all(np.diff(series.beat_times_s) > 0)
+
+    def test_rr_matches_beat_times(self):
+        series = _make_series()
+        assert np.allclose(series.rr_s, np.diff(series.beat_times_s))
+
+    def test_beats_within_duration(self):
+        series = _make_series(duration=600.0)
+        assert series.beat_times_s[0] >= 0.0
+        assert series.beat_times_s[-1] <= 600.0 + 1e-9
+
+    def test_mean_hr_close_to_baseline(self):
+        params = RRModelParams(ectopic_rate=0.0)
+        series = _make_series(params=params, base_hr_bpm=70.0)
+        assert series.mean_hr_bpm() == pytest.approx(70.0, rel=0.12)
+
+    def test_beat_count_scales_with_heart_rate(self):
+        params = RRModelParams(ectopic_rate=0.0)
+        slow = _make_series(params=params, base_hr_bpm=60.0, seed=1)
+        fast = _make_series(params=params, base_hr_bpm=90.0, seed=1)
+        assert fast.n_beats > slow.n_beats
+
+    def test_rr_within_physiological_bounds(self):
+        series = _make_series()
+        assert np.all(series.rr_s > 0.25) and np.all(series.rr_s < 2.0)
+
+    def test_deterministic_given_seed(self):
+        a = _make_series(seed=11)
+        b = _make_series(seed=11)
+        assert np.allclose(a.beat_times_s, b.beat_times_s)
+
+    def test_too_short_session_raises(self):
+        rng = np.random.default_rng(0)
+        respiration = generate_respiration(2.0, [], rng)
+        with pytest.raises(ValueError):
+            generate_rr_series(0.2, [], respiration, rng)
+
+
+class TestSeizureResponse:
+    def _windowed_stats(self, series, start, stop):
+        mask = (series.beat_times_s[1:] >= start) & (series.beat_times_s[1:] < stop)
+        rr = series.rr_s[mask]
+        hr = 60.0 / rr
+        rmssd = np.sqrt(np.mean(np.diff(rr) ** 2))
+        return hr.mean(), rmssd
+
+    def test_ictal_tachycardia(self):
+        seizure = Seizure(onset_s=450.0, duration_s=90.0)
+        params = RRModelParams(ectopic_rate=0.0)
+        series = _make_series([seizure], params=params, seed=2)
+        hr_ictal, _ = self._windowed_stats(series, 460.0, 540.0)
+        hr_base, _ = self._windowed_stats(series, 60.0, 300.0)
+        assert hr_ictal > hr_base * 1.08
+
+    def test_ictal_rmssd_suppression(self):
+        seizure = Seizure(onset_s=450.0, duration_s=120.0)
+        params = RRModelParams(ectopic_rate=0.0)
+        series = _make_series([seizure], params=params, seed=3)
+        _, rmssd_ictal = self._windowed_stats(series, 455.0, 565.0)
+        _, rmssd_base = self._windowed_stats(series, 60.0, 300.0)
+        assert rmssd_ictal < rmssd_base
+
+    def test_hr_response_scales_tachycardia(self):
+        seizure = Seizure(onset_s=450.0, duration_s=90.0)
+        params = RRModelParams(ectopic_rate=0.0)
+        strong = _make_series([seizure], params=params, seed=4, hr_response=1.0)
+        weak = _make_series([seizure], params=params, seed=4, hr_response=0.3)
+        hr_strong, _ = self._windowed_stats(strong, 460.0, 540.0)
+        hr_weak, _ = self._windowed_stats(weak, 460.0, 540.0)
+        assert hr_strong > hr_weak
+
+    def test_arousal_raises_rate_without_killing_rsa(self):
+        arousal = Seizure(onset_s=450.0, duration_s=120.0, preictal_s=30.0, postictal_s=60.0)
+        params = RRModelParams(ectopic_rate=0.0)
+        rng = np.random.default_rng(5)
+        respiration = generate_respiration(900.0, [], rng, None, arousals=[arousal])
+        series = generate_rr_series(900.0, [], respiration, rng, params, arousals=[arousal])
+        hr_ar, rmssd_ar = self._windowed_stats(series, 460.0, 560.0)
+        hr_base, rmssd_base = self._windowed_stats(series, 60.0, 300.0)
+        assert hr_ar > hr_base * 1.05
+        # RSA (and hence RMSSD) should not collapse the way it does ictally.
+        assert rmssd_ar > 0.4 * rmssd_base
+
+
+class TestEctopicBeats:
+    def test_ectopy_increases_rmssd(self):
+        clean_params = RRModelParams(ectopic_rate=0.0)
+        noisy_params = RRModelParams(ectopic_rate=0.05)
+        clean = _make_series(params=clean_params, seed=6)
+        noisy = _make_series(params=noisy_params, seed=6)
+        rmssd_clean = np.sqrt(np.mean(np.diff(clean.rr_s) ** 2))
+        rmssd_noisy = np.sqrt(np.mean(np.diff(noisy.rr_s) ** 2))
+        assert rmssd_noisy > rmssd_clean
+
+    def test_ectopy_preserves_monotonicity(self):
+        params = RRModelParams(ectopic_rate=0.1)
+        series = _make_series(params=params, seed=7)
+        assert np.all(np.diff(series.beat_times_s) > 0)

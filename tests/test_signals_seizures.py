@@ -1,0 +1,100 @@
+"""Unit tests for seizure scheduling and the Seizure annotation object."""
+
+import numpy as np
+import pytest
+
+from repro.signals.seizures import Seizure, SeizureScheduleParams, schedule_seizures
+
+
+class TestSeizure:
+    def test_offset_is_onset_plus_duration(self):
+        seizure = Seizure(onset_s=100.0, duration_s=60.0)
+        assert seizure.offset_s == 160.0
+
+    def test_disturbance_window_covers_pre_and_post(self):
+        seizure = Seizure(onset_s=300.0, duration_s=60.0, preictal_s=50.0, postictal_s=100.0)
+        assert seizure.disturbance_start_s == 250.0
+        assert seizure.disturbance_end_s == 460.0
+
+    def test_disturbance_start_clamped_at_zero(self):
+        seizure = Seizure(onset_s=20.0, duration_s=30.0, preictal_s=60.0)
+        assert seizure.disturbance_start_s == 0.0
+
+    def test_overlaps_true_inside(self):
+        seizure = Seizure(onset_s=100.0, duration_s=50.0)
+        assert seizure.overlaps(120.0, 130.0)
+
+    def test_overlaps_false_before_and_after(self):
+        seizure = Seizure(onset_s=100.0, duration_s=50.0)
+        assert not seizure.overlaps(0.0, 99.0)
+        assert not seizure.overlaps(151.0, 300.0)
+
+    def test_overlaps_boundary_is_exclusive(self):
+        seizure = Seizure(onset_s=100.0, duration_s=50.0)
+        assert not seizure.overlaps(150.0, 200.0)
+
+    def test_ictal_fraction_full_window_inside(self):
+        seizure = Seizure(onset_s=100.0, duration_s=100.0)
+        assert seizure.ictal_fraction(120.0, 170.0) == pytest.approx(1.0)
+
+    def test_ictal_fraction_partial(self):
+        seizure = Seizure(onset_s=100.0, duration_s=50.0)
+        # Window 90..190 overlaps the seizure 100..150 for 50 of 100 seconds.
+        assert seizure.ictal_fraction(90.0, 190.0) == pytest.approx(0.5)
+
+    def test_ictal_fraction_empty_window(self):
+        seizure = Seizure(onset_s=100.0, duration_s=50.0)
+        assert seizure.ictal_fraction(200.0, 200.0) == 0.0
+
+    def test_default_intensity_is_one(self):
+        assert Seizure(onset_s=0.0, duration_s=10.0).intensity == 1.0
+
+
+class TestScheduleSeizures:
+    def test_zero_seizures_returns_empty(self):
+        rng = np.random.default_rng(0)
+        assert schedule_seizures(3600.0, 0, rng) == []
+
+    def test_count_and_sorted_onsets(self):
+        rng = np.random.default_rng(1)
+        seizures = schedule_seizures(3600.0, 3, rng)
+        assert len(seizures) == 3
+        onsets = [s.onset_s for s in seizures]
+        assert onsets == sorted(onsets)
+
+    def test_margins_respected(self):
+        rng = np.random.default_rng(2)
+        params = SeizureScheduleParams(margin_s=500.0)
+        seizures = schedule_seizures(3600.0, 2, rng, params)
+        for seizure in seizures:
+            assert 500.0 <= seizure.onset_s <= 3600.0 - 500.0
+
+    def test_durations_within_bounds(self):
+        rng = np.random.default_rng(3)
+        params = SeizureScheduleParams(min_duration_s=30.0, max_duration_s=120.0)
+        for seizure in schedule_seizures(7200.0, 4, rng, params):
+            assert 30.0 <= seizure.duration_s <= 120.0
+
+    def test_intensities_within_bounds(self):
+        rng = np.random.default_rng(4)
+        params = SeizureScheduleParams(min_intensity=0.6, max_intensity=0.9)
+        for seizure in schedule_seizures(7200.0, 4, rng, params):
+            assert 0.6 <= seizure.intensity <= 0.9
+
+    def test_min_gap_respected_when_feasible(self):
+        rng = np.random.default_rng(5)
+        params = SeizureScheduleParams(min_gap_s=600.0, margin_s=400.0)
+        seizures = schedule_seizures(7200.0, 4, rng, params)
+        onsets = np.array([s.onset_s for s in seizures])
+        assert np.all(np.diff(np.sort(onsets)) >= 600.0 * 0.5 - 1e-9)
+
+    def test_too_short_session_raises(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            schedule_seizures(500.0, 1, rng, SeizureScheduleParams(margin_s=400.0))
+
+    def test_deterministic_given_seed(self):
+        a = schedule_seizures(3600.0, 3, np.random.default_rng(42))
+        b = schedule_seizures(3600.0, 3, np.random.default_rng(42))
+        assert [s.onset_s for s in a] == [s.onset_s for s in b]
+        assert [s.duration_s for s in a] == [s.duration_s for s in b]

@@ -1,0 +1,80 @@
+"""Unit tests for the support-vector budgeting loop."""
+
+import numpy as np
+import pytest
+
+from repro.svm.budget import BudgetParams, budget_training_set, train_budgeted_svm
+from repro.svm.kernels import PolynomialKernel
+from repro.svm.model import SVMTrainParams, train_svm
+
+
+class TestBudgetTrainingSet:
+    def test_budget_enforced(self, feature_matrix):
+        budget = 20
+        model = train_budgeted_svm(feature_matrix.X, feature_matrix.y, budget=budget)
+        assert model.n_support_vectors <= budget
+
+    def test_no_change_when_budget_not_binding(self, feature_matrix, quadratic_model):
+        generous = quadratic_model.n_support_vectors + 50
+        model, keep_mask = budget_training_set(
+            feature_matrix.X,
+            feature_matrix.y,
+            budget_params=BudgetParams(budget=generous),
+        )
+        assert np.all(keep_mask)
+        assert model.n_support_vectors == quadratic_model.n_support_vectors
+
+    def test_keep_mask_shrinks_with_budget(self, feature_matrix):
+        _, mask_large = budget_training_set(
+            feature_matrix.X, feature_matrix.y, budget_params=BudgetParams(budget=40)
+        )
+        _, mask_small = budget_training_set(
+            feature_matrix.X, feature_matrix.y, budget_params=BudgetParams(budget=15)
+        )
+        assert mask_small.sum() <= mask_large.sum()
+        assert mask_small.sum() < feature_matrix.n_samples
+
+    def test_both_classes_survive(self, feature_matrix):
+        _, keep_mask = budget_training_set(
+            feature_matrix.X, feature_matrix.y, budget_params=BudgetParams(budget=6)
+        )
+        kept_labels = feature_matrix.y[keep_mask]
+        assert np.any(kept_labels == 1) and np.any(kept_labels == -1)
+
+    def test_single_removal_variant(self, feature_matrix):
+        budget = max(2, train_svm(feature_matrix.X, feature_matrix.y).n_support_vectors - 3)
+        model, _ = budget_training_set(
+            feature_matrix.X,
+            feature_matrix.y,
+            budget_params=BudgetParams(budget=budget, chunk_fraction=0.0),
+        )
+        assert model.n_support_vectors <= budget
+
+    def test_budget_below_two_rejected(self, feature_matrix):
+        with pytest.raises(ValueError):
+            budget_training_set(
+                feature_matrix.X, feature_matrix.y, budget_params=BudgetParams(budget=1)
+            )
+
+    def test_budgeted_model_still_classifies(self, feature_matrix):
+        model = train_budgeted_svm(feature_matrix.X, feature_matrix.y, budget=25)
+        accuracy = np.mean(model.predict(feature_matrix.X) == feature_matrix.y)
+        assert accuracy > 0.7
+
+    def test_removed_vectors_have_low_norm(self, feature_matrix):
+        """The vectors dropped first should be low-norm ones of the full model."""
+        full = train_svm(feature_matrix.X, feature_matrix.y, kernel=PolynomialKernel(degree=2))
+        norms = full.sv_norms()
+        budget = full.n_support_vectors - max(3, full.n_support_vectors // 10)
+        _, keep_mask = budget_training_set(
+            feature_matrix.X,
+            feature_matrix.y,
+            budget_params=BudgetParams(budget=budget, chunk_fraction=0.25),
+        )
+        dropped_rows = set(np.nonzero(~keep_mask)[0].tolist())
+        # The very first removal round drops the lowest-norm SVs of the full
+        # model, so the overall lowest-norm SV must be among the dropped rows
+        # (later rounds operate on re-trained models and may drop rows that
+        # were not support vectors of the original one).
+        lowest_norm_row = int(full.support_indices[int(np.argmin(norms))])
+        assert lowest_norm_row in dropped_rows

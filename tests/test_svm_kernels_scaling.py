@@ -1,0 +1,144 @@
+"""Unit tests for the kernel functions and the feature scalers."""
+
+import numpy as np
+import pytest
+
+from repro.svm.kernels import (
+    GaussianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    kernel_from_name,
+)
+from repro.svm.scaling import PowerOfTwoScaler, StandardScaler, make_scaler
+
+
+@pytest.fixture()
+def random_points():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((12, 5)), rng.standard_normal((7, 5))
+
+
+class TestKernels:
+    def test_linear_matches_matmul(self, random_points):
+        a, b = random_points
+        assert np.allclose(LinearKernel()(a, b), a @ b.T)
+
+    def test_quadratic_matches_equation3(self, random_points):
+        a, b = random_points
+        expected = (a @ b.T + 1.0) ** 2
+        assert np.allclose(PolynomialKernel(degree=2)(a, b), expected)
+
+    def test_cubic_degree(self, random_points):
+        a, b = random_points
+        expected = (a @ b.T + 1.0) ** 3
+        assert np.allclose(PolynomialKernel(degree=3)(a, b), expected)
+
+    def test_gaussian_bounds_and_diagonal(self, random_points):
+        a, _ = random_points
+        gram = GaussianKernel(gamma=0.3)(a, a)
+        assert np.all(gram <= 1.0 + 1e-12) and np.all(gram > 0.0)
+        assert np.allclose(np.diag(gram), 1.0)
+
+    def test_gaussian_default_gamma(self, random_points):
+        a, b = random_points
+        explicit = GaussianKernel(gamma=1.0 / 5)(a, b)
+        default = GaussianKernel()(a, b)
+        assert np.allclose(explicit, default)
+
+    def test_diagonal_shortcut_matches_gram(self, random_points):
+        a, _ = random_points
+        for kernel in (LinearKernel(), PolynomialKernel(degree=2), GaussianKernel(gamma=0.2)):
+            assert np.allclose(kernel.diagonal(a), np.diag(kernel(a, a)))
+
+    def test_gram_symmetry_and_psd(self, random_points):
+        a, _ = random_points
+        for kernel in (LinearKernel(), PolynomialKernel(degree=2), GaussianKernel()):
+            gram = kernel(a, a)
+            assert np.allclose(gram, gram.T)
+            eigenvalues = np.linalg.eigvalsh(gram)
+            assert eigenvalues.min() > -1e-8
+
+    def test_kernel_from_name(self):
+        assert isinstance(kernel_from_name("linear"), LinearKernel)
+        assert kernel_from_name("quadratic").degree == 2
+        assert kernel_from_name("cubic").degree == 3
+        assert isinstance(kernel_from_name("rbf"), GaussianKernel)
+        assert kernel_from_name("poly4").degree == 4
+
+    def test_kernel_from_name_unknown(self):
+        with pytest.raises(ValueError):
+            kernel_from_name("sigmoid")
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialKernel(degree=0)
+
+    def test_kernel_names(self):
+        assert PolynomialKernel(degree=2).name == "quadratic"
+        assert PolynomialKernel(degree=3).name == "cubic"
+        assert PolynomialKernel(degree=5).name == "poly5"
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_not_scaled(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3)) * 7 + 2
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((3, 3)))
+
+    def test_select_features(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 5)) * np.array([1, 2, 3, 4, 5])
+        scaler = StandardScaler().fit(X)
+        reduced = scaler.select_features([1, 3])
+        assert np.allclose(reduced.transform(X[:, [1, 3]]), scaler.transform(X)[:, [1, 3]])
+
+
+class TestPowerOfTwoScaler:
+    def test_scales_are_powers_of_two(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(scale=[0.01, 1.0, 50.0], size=(300, 3))
+        scaler = PowerOfTwoScaler().fit(X)
+        exponents = np.log2(scaler.scale_)
+        assert np.allclose(exponents, np.round(exponents))
+
+    def test_mean_is_not_removed(self):
+        X = np.random.default_rng(5).normal(loc=10.0, scale=1.0, size=(200, 1))
+        scaled = PowerOfTwoScaler().fit(X).transform(X)
+        assert scaled.mean() > 5.0
+
+    def test_scaled_std_near_one(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(scale=[0.02, 3.0, 400.0], size=(500, 3))
+        scaled = PowerOfTwoScaler().fit(X).transform(X)
+        assert np.all(scaled.std(axis=0) > 0.6)
+        assert np.all(scaled.std(axis=0) < 1.5)
+
+    def test_scale_exponents_accessor(self):
+        X = np.random.default_rng(7).normal(scale=4.0, size=(500, 1))
+        scaler = PowerOfTwoScaler().fit(X)
+        assert scaler.scale_exponents()[0] == 2
+
+    def test_make_scaler_factory(self):
+        assert isinstance(make_scaler("standard"), StandardScaler)
+        assert isinstance(make_scaler("pow2"), PowerOfTwoScaler)
+        assert make_scaler("none") is None
+        with pytest.raises(ValueError):
+            make_scaler("quantile")

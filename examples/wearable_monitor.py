@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
-"""Wearable-monitor walkthrough: from the raw ECG waveform to an on-node alarm.
+"""Wearable-monitor walkthrough: a fleet of streaming monitors on one server.
 
 The two other examples start from pre-extracted feature matrices.  This one
-exercises the *full* signal path of Figure 1 of the paper for a single
-recording session, the way the firmware of a Wireless Body Sensor Node would:
+exercises the *full* online signal path of Figure 1 of the paper, the way a
+server receiving chunks from several Wireless Body Sensor Nodes would, on top
+of the :mod:`repro.serving` engine:
 
-1. synthesise a raw single-lead ECG trace for a session containing a seizure,
-2. detect R peaks with the Pan–Tompkins-style detector,
-3. slide a three-minute window over the beat sequence and extract the
-   53 features per window,
-4. classify every window with a *fixed-point* quadratic SVM (9-bit features,
-   15-bit coefficients) trained on the rest of the cohort, and
-5. print the resulting alarm timeline next to the expert annotation, plus the
-   energy the accelerator model attributes to the monitoring session.
+1. synthesise raw single-lead ECG traces for one monitored session per
+   patient (the remaining sessions form the training data),
+2. train a quadratic SVM and quantise it to the paper's 9/15-bit fixed-point
+   design point,
+3. stream every monitored trace in ~30-second chunks through a
+   :class:`~repro.serving.fleet.MonitorFleet` — each chunk runs incremental
+   Pan–Tompkins R-peak detection and three-minute window assembly with
+   carry-over state, and completed windows from *all* patients are classified
+   in batched fixed-point SVM calls,
+4. print the per-patient alarm timelines next to the expert annotations, and
+5. report the energy the accelerator model attributes to the fleet.
 
 Run with:  python examples/wearable_monitor.py
 """
@@ -20,36 +24,19 @@ Run with:  python examples/wearable_monitor.py
 import numpy as np
 
 from repro.core import hardware_cost
-from repro.dsp.peaks import detect_r_peaks
-from repro.features.extractor import FeatureExtractor, extract_cohort_features
+from repro.features.extractor import extract_cohort_features
 from repro.hardware.technology import TECH_40NM
 from repro.quant import QuantizationConfig, QuantizedSVM
-from repro.signals.dataset import CohortParams, Recording, generate_cohort
-from repro.signals.windows import Window, WindowingParams, window_label
+from repro.serving import MonitorFleet
+from repro.signals.dataset import CohortParams, generate_cohort
+from repro.signals.ecg_model import synthesize_ecg
+from repro.signals.windows import WindowingParams, window_label
 from repro.svm.model import train_svm
 
-
-def build_streaming_windows(recording: Recording, beat_times: np.ndarray, params: WindowingParams):
-    """Non-overlapping three-minute windows over *detected* beats."""
-    windows = []
-    start = 0.0
-    while start + params.window_s <= recording.duration_s:
-        end = start + params.window_s
-        first = int(np.searchsorted(beat_times, start, side="left"))
-        last = int(np.searchsorted(beat_times, end, side="right"))
-        if last - first >= params.min_beats:
-            windows.append(
-                Window(
-                    patient_id=recording.patient_id,
-                    session_id=recording.session_id,
-                    start_s=start,
-                    end_s=end,
-                    label=window_label(start, end, recording.seizures, params.min_ictal_fraction),
-                    beat_slice=slice(first, last),
-                )
-            )
-        start += params.window_s
-    return windows
+#: Seconds of ECG per transmitted chunk (~30 s at 128 Hz).
+CHUNK_SAMPLES = 3840
+#: Drain the fleet's pending windows every this many received chunks.
+DRAIN_EVERY = 16
 
 
 def main() -> None:
@@ -64,23 +51,29 @@ def main() -> None:
     )
     cohort = generate_cohort(params)
 
-    # Pick a monitored session that contains at least one seizure and render
-    # its raw ECG; all the other sessions form the training data.
-    monitored = next(r for r in cohort.recordings if r.n_seizures > 0)
-    training_features = extract_cohort_features(cohort)
-    train_mask = training_features.session_ids != monitored.session_id
-    X_train = training_features.X[train_mask]
-    y_train = training_features.y[train_mask]
+    # Monitor one session per patient (preferring sessions with a seizure);
+    # every other session contributes to the training data.
+    monitored = {}
+    for patient in cohort.patients:
+        sessions = sorted(patient.recordings, key=lambda r: -r.n_seizures)
+        monitored[patient.patient_id] = sessions[0]
+    monitored_sessions = {r.session_id for r in monitored.values()}
 
-    print(
-        "Monitored session: patient %d, session %d, %d annotated seizure(s)"
-        % (monitored.patient_id, monitored.session_id, monitored.n_seizures)
-    )
-    for seizure in monitored.seizures:
+    features = extract_cohort_features(cohort)
+    train_mask = ~np.isin(features.session_ids, sorted(monitored_sessions))
+    X_train, y_train = features.X[train_mask], features.y[train_mask]
+
+    print("Monitored fleet:")
+    for patient_id, recording in sorted(monitored.items()):
         print(
-            "  expert annotation: onset %6.0f s, duration %4.0f s"
-            % (seizure.onset_s, seizure.duration_s)
+            "  patient %d, session %d, %d annotated seizure(s)"
+            % (patient_id, recording.session_id, recording.n_seizures)
         )
+        for seizure in recording.seizures:
+            print(
+                "    expert annotation: onset %6.0f s, duration %4.0f s"
+                % (seizure.onset_s, seizure.duration_s)
+            )
 
     # ------------------------------------------------------------- training
     model = train_svm(X_train, y_train)
@@ -90,59 +83,68 @@ def main() -> None:
         % model.n_support_vectors
     )
 
-    # ------------------------------------------------ raw ECG -> beat stream
-    from repro.signals.ecg_model import synthesize_ecg
-
+    # ------------------------------------------ raw ECG -> per-patient chunks
     rng = np.random.default_rng(7)
-    ecg = synthesize_ecg(monitored.beat_times_s, monitored.duration_s, monitored.respiration, rng)
-    peak_indices, peak_times = detect_r_peaks(ecg.ecg_mv, ecg.fs)
-    r_amplitudes = ecg.ecg_mv[peak_indices]
-    print(
-        "R-peak detection: %d beats detected (%d in the reference beat sequence)"
-        % (peak_times.size, monitored.n_beats)
-    )
-
-    # Re-package the detected beats as a Recording so the standard feature
-    # extractor can be reused unchanged.
-    detected = Recording(
-        patient_id=monitored.patient_id,
-        session_id=monitored.session_id,
-        duration_s=monitored.duration_s,
-        beat_times_s=peak_times,
-        rr_s=np.diff(peak_times),
-        r_amplitudes_mv=r_amplitudes,
-        seizures=monitored.seizures,
-        respiration=monitored.respiration,
-    )
-
-    # ------------------------------------------------- windowing + inference
-    windowing = WindowingParams()
-    windows = build_streaming_windows(detected, peak_times, windowing)
-    extractor = FeatureExtractor()
-
-    print("\nAlarm timeline (one three-minute window per line):")
-    n_alarms = 0
-    n_correct = 0
-    for window in windows:
-        try:
-            vector = extractor.extract_window(detected, window)
-        except ValueError:
-            continue
-        predicted = int(detector.predict(vector.reshape(1, -1))[0])
-        truth = window.label
-        marker = "ALARM" if predicted == 1 else "  -  "
-        agreement = "ok" if predicted == truth else ("missed" if truth == 1 else "false alarm")
-        if predicted == 1:
-            n_alarms += 1
-        if predicted == truth:
-            n_correct += 1
-        print(
-            "  %5.0f - %5.0f s   %s   (annotation: %s, %s)"
-            % (window.start_s, window.end_s, marker, "seizure" if truth == 1 else "background", agreement)
+    streams = {}
+    for patient_id, recording in sorted(monitored.items()):
+        ecg = synthesize_ecg(
+            recording.beat_times_s, recording.duration_s, recording.respiration, rng
         )
+        streams[patient_id] = [
+            ecg.ecg_mv[lo : lo + CHUNK_SAMPLES]
+            for lo in range(0, ecg.ecg_mv.size, CHUNK_SAMPLES)
+        ]
+        fs = ecg.fs
+    n_chunks = sum(len(chunks) for chunks in streams.values())
     print(
-        "window accuracy on the monitored session: %d / %d, %d alarm(s) raised"
-        % (n_correct, len(windows), n_alarms)
+        "Streaming %d chunks (%.0f s each) from %d patients, drained every %d chunks"
+        % (n_chunks, CHUNK_SAMPLES / fs, len(streams), DRAIN_EVERY)
+    )
+
+    # ------------------------------------------- fleet streaming + inference
+    fleet = MonitorFleet(detector, fs)
+    decisions = fleet.run(streams, drain_every=DRAIN_EVERY)
+
+    windowing = WindowingParams()
+    print("\nAlarm timelines (one three-minute window per line):")
+    n_windows = 0
+    n_classified = 0
+    n_correct = 0
+    n_alarms = 0
+    for patient_id, recording in sorted(monitored.items()):
+        print("  patient %d:" % patient_id)
+        for decision in [d for d in decisions if d.patient_id == patient_id]:
+            truth = window_label(
+                decision.start_s,
+                decision.end_s,
+                recording.seizures,
+                windowing.min_ictal_fraction,
+            )
+            marker = "ALARM" if decision.alarm else "  -  "
+            predicted = 1 if decision.alarm else -1
+            if not decision.usable:
+                agreement = "unusable window"
+            elif predicted == truth:
+                agreement = "ok"
+            else:
+                agreement = "missed" if truth == 1 else "false alarm"
+            n_windows += 1
+            n_classified += int(decision.usable)
+            n_alarms += int(decision.alarm)
+            n_correct += int(decision.usable and predicted == truth)
+            print(
+                "    %5.0f - %5.0f s   %s   (annotation: %s, %s)"
+                % (
+                    decision.start_s,
+                    decision.end_s,
+                    marker,
+                    "seizure" if truth == 1 else "background",
+                    agreement,
+                )
+            )
+    print(
+        "window accuracy across the fleet: %d / %d classified (%d unusable), %d alarm(s) raised"
+        % (n_correct, n_classified, n_windows - n_classified, n_alarms)
     )
 
     # ----------------------------------------------------------- energy bill
@@ -153,14 +155,16 @@ def main() -> None:
         coeff_bits=15,
         per_feature_scaling=True,
     )
-    session_energy_uj = report.energy_nj * len(windows) / 1000.0
+    # Only windows that actually ran through the classifier draw energy.
+    fleet_energy_uj = report.energy_nj * n_classified / 1000.0
+    monitored_minutes = sum(r.duration_s for r in monitored.values()) / 60.0
     print(
         "\nAccelerator model (%s): %.0f nJ per classification, %.4f mm2"
         % (TECH_40NM.name, report.energy_nj, report.area_mm2)
     )
     print(
-        "Inference energy for the %.0f-minute session: %.2f uJ (%d windows)"
-        % (monitored.duration_s / 60.0, session_energy_uj, len(windows))
+        "Inference energy for %.0f monitored minutes: %.2f uJ (%d classified windows)"
+        % (monitored_minutes, fleet_energy_uj, n_classified)
     )
 
 

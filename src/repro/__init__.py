@@ -18,6 +18,9 @@ The library is organised bottom-up:
 * :mod:`repro.core`        — the paper's optimisation flows (feature
   selection, SV budgeting, bitwidth search, combined flow) and the
   leave-one-session-out evaluation;
+* :mod:`repro.serving`     — the online engine: streaming per-patient
+  monitors (chunked R-peak detection, incremental windowing) and batched
+  fleet-scale inference;
 * :mod:`repro.experiments` — regeneration of every table and figure.
 
 Quickstart::
@@ -40,6 +43,7 @@ __all__ = [
     "quant",
     "hardware",
     "core",
+    "serving",
     "experiments",
     "__version__",
 ]

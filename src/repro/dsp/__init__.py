@@ -16,7 +16,7 @@ feature-extraction stage relies on:
 """
 
 from repro.dsp.filters import detrend, difference, moving_average, bandpass_fir, apply_fir
-from repro.dsp.peaks import PanTompkinsParams, detect_r_peaks
+from repro.dsp.peaks import PanTompkinsParams, StreamingPeakDetector, detect_r_peaks
 from repro.dsp.resample import resample_beats_to_uniform, resample_rr_to_uniform
 from repro.dsp.ar import ar_burg, ar_yule_walker, ar_power_spectrum
 from repro.dsp.psd import welch_psd, band_power
@@ -28,6 +28,7 @@ __all__ = [
     "bandpass_fir",
     "apply_fir",
     "PanTompkinsParams",
+    "StreamingPeakDetector",
     "detect_r_peaks",
     "resample_beats_to_uniform",
     "resample_rr_to_uniform",

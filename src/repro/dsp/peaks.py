@@ -6,6 +6,14 @@ amplitudes (for amplitude-based EDR).  This module provides a compact
 Pan–Tompkins-style detector: band-pass filtering, differentiation, squaring,
 moving-window integration and adaptive thresholding with a refractory period,
 followed by a local refinement of the R-peak position on the filtered signal.
+
+Two entry points are provided:
+
+* :func:`detect_r_peaks` — one-shot detection over a complete trace, and
+* :class:`StreamingPeakDetector` — the same pipeline operating on arbitrary
+  sample chunks with carry-over state (filter context, adaptive threshold
+  level, refractory bookkeeping), the front end of the
+  :mod:`repro.serving` streaming engine.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ import numpy as np
 
 from repro.dsp.filters import apply_fir, bandpass_fir, moving_average
 
-__all__ = ["PanTompkinsParams", "detect_r_peaks"]
+__all__ = ["PanTompkinsParams", "detect_r_peaks", "StreamingPeakDetector"]
 
 
 @dataclass
@@ -39,8 +47,33 @@ class PanTompkinsParams:
     refine_half_window_s: float = 0.10
 
 
-def _moving_window_integration(x: np.ndarray, width: int) -> np.ndarray:
-    return moving_average(x, max(width, 1))
+def _design_qrs_bandpass(
+    fs: float, params: PanTompkinsParams, max_taps: int | None = None
+) -> np.ndarray:
+    """Design the QRS band-pass filter, clamping the band and tap count.
+
+    The nominal 5–18 Hz band violates ``high_hz < fs/2`` for any ``fs <= 36``
+    Hz, and the nominal ``numtaps ~ fs`` filter can be longer than a short
+    trace; both are clamped here so the detector degrades gracefully instead
+    of raising from :func:`repro.dsp.filters.bandpass_fir`.
+    """
+    nyquist = fs / 2.0
+    high = min(params.band_high_hz, 0.9 * nyquist)
+    low = min(params.band_low_hz, 0.5 * high)
+    numtaps = int(fs // 2) * 2 + 1
+    if max_taps is not None:
+        # Keep the filter no longer than the available signal (odd length).
+        limit = max(max_taps, 3)
+        limit = limit if limit % 2 == 1 else limit - 1
+        numtaps = min(numtaps, limit)
+    numtaps = max(numtaps, 3)
+    return bandpass_fir(low, high, fs, numtaps=numtaps)
+
+
+def _integrated_energy(filtered: np.ndarray, integration_width: int) -> np.ndarray:
+    """Differentiate, square and integrate the band-passed signal."""
+    derivative = np.gradient(filtered)
+    return moving_average(derivative**2, max(integration_width, 1))
 
 
 def detect_r_peaks(
@@ -69,16 +102,14 @@ def detect_r_peaks(
         return np.empty(0, dtype=int), np.empty(0)
 
     # 1. Band-pass filter to isolate the QRS energy.
-    taps = bandpass_fir(params.band_low_hz, params.band_high_hz, fs, numtaps=int(fs // 2) * 2 + 1)
+    taps = _design_qrs_bandpass(fs, params, max_taps=ecg.size)
     filtered = apply_fir(ecg, taps)
 
     # 2. Differentiate, square, integrate.
-    derivative = np.gradient(filtered)
-    squared = derivative**2
-    integrated = _moving_window_integration(squared, int(params.integration_window_s * fs))
+    integrated = _integrated_energy(filtered, int(params.integration_window_s * fs))
 
     # 3. Adaptive threshold with refractory period.
-    refractory = int(params.refractory_s * fs)
+    refractory = max(int(params.refractory_s * fs), 1)
     level = float(np.percentile(integrated, 98))
     threshold = params.threshold_fraction * level
     peaks = []
@@ -121,3 +152,158 @@ def detect_r_peaks(
             keep.append(idx)
     final = refined_arr[keep]
     return final, final / fs
+
+
+class StreamingPeakDetector:
+    """Incremental Pan–Tompkins detection over arbitrary sample chunks.
+
+    The detector keeps a bounded tail of raw samples as carry-over context so
+    that filtering, integration and local-maximum refinement near a chunk
+    boundary see exactly the same neighbourhood they would in a one-shot run.
+    Peaks are only *finalised* once the look-ahead they need (filter group
+    delay + integration window + refinement window + refractory period) has
+    arrived, which makes the emitted beat sequence independent of how the
+    stream is cut into chunks.
+
+    Usage::
+
+        detector = StreamingPeakDetector(fs)
+        for chunk in chunks:
+            indices, times, amplitudes = detector.process(chunk)
+        indices, times, amplitudes = detector.flush()   # drain the tail
+
+    Indices and times are absolute (relative to the first pushed sample).
+    """
+
+    def __init__(self, fs: float, params: PanTompkinsParams | None = None) -> None:
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        self.fs = float(fs)
+        self.params = params or PanTompkinsParams()
+        self._taps = _design_qrs_bandpass(self.fs, self.params)
+        self._refractory = max(int(self.params.refractory_s * self.fs), 1)
+        self._half_refine = int(self.params.refine_half_window_s * self.fs)
+        self._integration = max(int(self.params.integration_window_s * self.fs), 1)
+        #: Samples held back from the buffer end until their context arrives.
+        self._margin = (
+            self._taps.size // 2 + self._integration + self._half_refine + self._refractory
+        )
+        #: Raw-sample context kept to the left of the finalisation frontier.
+        self._context = self._margin + self._taps.size
+
+        self._buffer = np.empty(0)
+        self._buffer_start = 0  # absolute index of buffer[0]
+        self._n_seen = 0  # total samples pushed so far
+        self._finalized = 0  # absolute index up to which detection is final
+        self._level: float | None = None
+        self._last_peak = -10 * self._refractory  # absolute index of last peak
+
+    @property
+    def n_samples_seen(self) -> int:
+        """Total number of samples pushed so far."""
+        return self._n_seen
+
+    @property
+    def time_seen_s(self) -> float:
+        """Stream time (seconds) corresponding to the last pushed sample."""
+        return self._n_seen / self.fs
+
+    @property
+    def finalized_time_s(self) -> float:
+        """Stream time up to which peak detection is final (no new peaks can
+        appear before it)."""
+        return self._finalized / self.fs
+
+    def process(self, chunk: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Push a chunk of raw ECG samples; return newly finalised peaks.
+
+        Returns
+        -------
+        (indices, times_s, amplitudes):
+            Absolute sample indices, times and raw-sample amplitudes of the
+            peaks finalised by this chunk (possibly empty).
+        """
+        chunk = np.asarray(chunk, dtype=float).ravel()
+        if chunk.size:
+            self._buffer = np.concatenate((self._buffer, chunk))
+            self._n_seen += chunk.size
+        return self._detect(final=False)
+
+    def flush(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Finalise the held-back tail at end of stream."""
+        return self._detect(final=True)
+
+    # ------------------------------------------------------------- internals
+    def _empty(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return np.empty(0, dtype=int), np.empty(0), np.empty(0)
+
+    def _detect(self, final: bool) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        margin = 0 if final else self._margin
+        end_abs = self._n_seen - margin
+        if end_abs <= self._finalized or self._buffer.size < 2:
+            return self._empty()
+
+        filtered = apply_fir(self._buffer, self._taps)
+        integrated = _integrated_energy(filtered, self._integration)
+
+        if self._level is None:
+            # Wait for about two seconds of signal before freezing the
+            # initial level estimate, unless the stream is being flushed.
+            # The estimate uses exactly the first two seconds (the buffer
+            # still starts at sample zero here, since trimming only happens
+            # after a detection pass), so it does not depend on how the
+            # stream was cut into chunks.
+            if not final and self._n_seen < int(2 * self.fs):
+                return self._empty()
+            self._level = float(np.percentile(integrated[: int(2 * self.fs)], 98))
+        threshold = self.params.threshold_fraction * self._level
+
+        start_local = max(self._finalized - self._buffer_start, 1)
+        start_local = max(start_local, self._last_peak + self._refractory - self._buffer_start)
+        end_local = min(end_abs - self._buffer_start, self._buffer.size - 1)
+
+        peaks_local = []
+        i = start_local
+        while i < end_local:
+            if (
+                integrated[i] > threshold
+                and integrated[i] >= integrated[i - 1]
+                and integrated[i] >= integrated[i + 1]
+            ):
+                peaks_local.append(i)
+                self._level += (integrated[i] - self._level) / self.params.level_memory
+                threshold = self.params.threshold_fraction * self._level
+                i += self._refractory
+            else:
+                i += 1
+
+        emitted_local = []
+        for p in peaks_local:
+            lo = max(0, p - self._half_refine)
+            hi = min(self._buffer.size, p + self._half_refine + 1)
+            refined = lo + int(np.argmax(filtered[lo:hi]))
+            refined_abs = self._buffer_start + refined
+            # Enforce the refractory period across chunk boundaries and
+            # against refinement collapsing two candidates onto one beat.
+            if refined_abs - self._last_peak < self._refractory:
+                continue
+            emitted_local.append(refined)
+            self._last_peak = refined_abs
+
+        self._finalized = end_abs
+
+        # Amplitudes are read from the raw signal, as in the one-shot path.
+        local = np.asarray(emitted_local, dtype=int)
+        amplitudes = self._buffer[local] if local.size else np.empty(0)
+        indices = local + self._buffer_start
+
+        # Trim the buffer, keeping enough left context for the next call.
+        keep_from_abs = max(self._buffer_start, self._finalized - self._context)
+        drop = keep_from_abs - self._buffer_start
+        if drop > 0:
+            self._buffer = self._buffer[drop:]
+            self._buffer_start = keep_from_abs
+
+        if not indices.size:
+            return self._empty()
+        return indices, indices / self.fs, amplitudes

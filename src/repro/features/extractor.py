@@ -129,9 +129,26 @@ class FeatureExtractor:
 
     def extract_window(self, recording: Recording, window: Window) -> np.ndarray:
         """Feature vector of one window; raises ``ValueError`` if unusable."""
-        beats = window.beats_of(recording)
-        rr = window.rr_of(recording)
-        amplitudes = window.r_amplitudes_of(recording)
+        return self.extract_beats(
+            window.beats_of(recording),
+            window.rr_of(recording),
+            window.r_amplitudes_of(recording),
+        )
+
+    def extract_beats(
+        self, beats: np.ndarray, rr: np.ndarray, amplitudes: np.ndarray
+    ) -> np.ndarray:
+        """Feature vector from raw per-window beat arrays.
+
+        This is the self-contained core of :meth:`extract_window`; the
+        streaming engine calls it directly on the
+        :class:`~repro.signals.windows.BeatWindow` payloads it assembles,
+        without a full :class:`~repro.signals.dataset.Recording` in hand.
+        Raises ``ValueError`` if the window is unusable.
+        """
+        beats = np.asarray(beats, dtype=float)
+        rr = np.asarray(rr, dtype=float)
+        amplitudes = np.asarray(amplitudes, dtype=float)
         if rr.size < 8 or beats.size < 8:
             raise ValueError("window contains too few beats")
 
@@ -149,6 +166,27 @@ class FeatureExtractor:
         if not np.all(np.isfinite(vector)):
             raise ValueError("non-finite feature value in window")
         return vector
+
+    def extract_batch(
+        self, items: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    ) -> Tuple[np.ndarray, List[int]]:
+        """Feature matrix over a batch of ``(beats, rr, amplitudes)`` windows.
+
+        Unusable windows are skipped; the second return value lists the
+        indices (into ``items``) of the rows that were kept, so callers can
+        map batched predictions back onto their pending windows.
+        """
+        rows: List[np.ndarray] = []
+        kept: List[int] = []
+        for idx, (beats, rr, amplitudes) in enumerate(items):
+            try:
+                rows.append(self.extract_beats(beats, rr, amplitudes))
+            except ValueError:
+                continue
+            kept.append(idx)
+        if not rows:
+            return np.empty((0, N_FEATURES)), []
+        return np.vstack(rows), kept
 
     def extract_recording(self, recording: Recording) -> Tuple[np.ndarray, np.ndarray, List[Window]]:
         """Feature matrix, labels and retained windows of one recording."""

@@ -18,6 +18,7 @@ datapath:
 """
 
 from repro.quant.fixed_point import (
+    quantize_columns,
     quantize_to_int,
     saturate,
     scale_for_exponent,
@@ -32,6 +33,7 @@ from repro.quant.ranges import (
 from repro.quant.quantized_model import QuantizationConfig, QuantizedSVM
 
 __all__ = [
+    "quantize_columns",
     "quantize_to_int",
     "saturate",
     "scale_for_exponent",

@@ -14,7 +14,14 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["scale_for_exponent", "saturate", "quantize_to_int", "truncate_lsbs", "int_bounds"]
+__all__ = [
+    "scale_for_exponent",
+    "saturate",
+    "quantize_to_int",
+    "quantize_columns",
+    "truncate_lsbs",
+    "int_bounds",
+]
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -61,6 +68,28 @@ def quantize_to_int(values: ArrayLike, scale: float, bits: int) -> np.ndarray:
     if bits <= 62:
         return q.astype(np.int64)
     return np.array([int(v) for v in np.ravel(q)], dtype=object).reshape(q.shape)
+
+
+def quantize_columns(values: np.ndarray, scales: np.ndarray, bits: int) -> np.ndarray:
+    """Quantise a 2-D matrix with one scale per column, in one broadcast.
+
+    Equivalent to calling :func:`quantize_to_int` column by column (same
+    rounding, saturation and int64-vs-exact dtype policy) but without a
+    Python loop — the batched-inference hot path of
+    :class:`~repro.quant.quantized_model.QuantizedSVM` quantises whole
+    ``(n_windows, n_features)`` blocks through this.
+    """
+    scales = np.asarray(scales, dtype=float)
+    if np.any(scales <= 0.0):
+        raise ValueError("scale must be positive")
+    arr = np.atleast_2d(np.asarray(values, dtype=float))
+    q = np.round(arr / scales[None, :])
+    q = saturate(q, bits)
+    if bits <= 62:
+        return q.astype(np.int64)
+    return np.array(
+        [[int(v) for v in row] for row in q], dtype=object
+    ).reshape(q.shape)
 
 
 def truncate_lsbs(value: Union[int, np.ndarray], n_bits: int) -> Union[int, np.ndarray]:

@@ -26,14 +26,13 @@ falls back to exact Python integers, so arbitrarily wide reference datapaths
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.hardware.accelerator import AcceleratorConfig
-from repro.quant.fixed_point import quantize_to_int, scale_for_exponent
+from repro.quant.fixed_point import quantize_columns, quantize_to_int, scale_for_exponent
 from repro.quant.ranges import (
     coefficient_range_exponent,
     feature_range_exponents,
@@ -139,14 +138,8 @@ class QuantizedSVM:
 
     # ------------------------------------------------------------------ API
     def _quantize_features(self, values: np.ndarray) -> np.ndarray:
-        """Quantise a feature matrix column-by-column with the feature scales."""
-        values = np.atleast_2d(np.asarray(values, dtype=float))
-        columns = [
-            quantize_to_int(values[:, j], self.feature_scales[j], self.config.feature_bits)
-            for j in range(self.n_features)
-        ]
-        out = np.stack(columns, axis=1)
-        return out
+        """Quantise a feature matrix with the per-column feature scales."""
+        return quantize_columns(values, self.feature_scales, self.config.feature_bits)
 
     def quantize_input(self, X: np.ndarray) -> np.ndarray:
         """Quantise raw test vectors exactly as the accelerator front-end does.
@@ -166,12 +159,38 @@ class QuantizedSVM:
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Approximate real-valued decision score implied by the integer pipeline."""
         acc = self._accumulate(self.quantize_input(X))
+        if isinstance(acc, np.ndarray):
+            return acc.astype(float) * self.output_scale
         return np.asarray([float(v) for v in acc], dtype=float) * self.output_scale
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Class labels in ``{-1, +1}`` from the integer pipeline (sign bit)."""
+        """Class labels in ``{-1, +1}`` from the integer pipeline (sign bit).
+
+        Accepts a whole batch of windows at once; on the int64 fast path the
+        entire pipeline (quantisation, MAC1, squarer, MAC2 and the final sign)
+        stays vectorised across the batch, which is what the
+        :class:`~repro.serving.fleet.MonitorFleet` batched drain relies on.
+        """
         acc = self._accumulate(self.quantize_input(X))
+        if isinstance(acc, np.ndarray):
+            return np.where(acc >= 0, 1, -1).astype(int)
         return np.asarray([1 if v >= 0 else -1 for v in acc], dtype=int)
+
+    def scores_and_labels(self, X: np.ndarray) -> tuple:
+        """Decision scores and class labels from a single pipeline pass.
+
+        Labels are the sign of the integer accumulator (exactly as
+        :meth:`predict`); the batched serving drain uses this to avoid
+        running the pipeline twice per window batch.
+        """
+        acc = self._accumulate(self.quantize_input(X))
+        if isinstance(acc, np.ndarray):
+            scores = acc.astype(float) * self.output_scale
+            labels = np.where(acc >= 0, 1, -1).astype(int)
+        else:
+            scores = np.asarray([float(v) for v in acc], dtype=float) * self.output_scale
+            labels = np.asarray([1 if v >= 0 else -1 for v in acc], dtype=int)
+        return scores, labels
 
     def accelerator_config(self) -> AcceleratorConfig:
         """Hardware design point matching this functional model."""
@@ -188,22 +207,34 @@ class QuantizedSVM:
 
     # ------------------------------------------------------------- pipeline
     def _fits_int64(self) -> bool:
-        """Conservative worst-case bit-growth check for the int64 fast path."""
-        d = self.config.feature_bits
-        product_bits = 2 * d + int(np.max(self.product_shifts, initial=0))
-        acc1_bits = product_bits + math.ceil(math.log2(max(self.n_features, 2)))
-        dot_bits = max(acc1_bits - self.config.truncate_after_dot, 2)
-        offset_bits = max(self.kernel_offset_int.bit_length() + 1, 2)
-        sum_bits = max(dot_bits, offset_bits) + 1
-        square_bits = 2 * sum_bits - self.config.truncate_after_square
-        acc2_bits = (
-            square_bits
-            + self.config.coeff_bits
-            + math.ceil(math.log2(max(self.n_support_vectors, 2)))
+        """Worst-case overflow check for the int64 fast path.
+
+        Bounds every intermediate of the pipeline with exact integer
+        arithmetic on the *stored* constants (support-vector words,
+        coefficient words, offset and bias) against the most adverse
+        quantised input (every feature saturated, signs aligned), instead of
+        the purely symbolic bit-growth estimate used previously — which was
+        so conservative that it pushed the paper's own 9/15-bit design point
+        onto the slow exact-arithmetic path.
+        """
+        q_max = 1 << (self.config.feature_bits - 1)
+        shifts = [1 << int(s) for s in self.product_shifts]
+        acc1_max = 0
+        for row in np.asarray(self.sv_int):
+            total = sum(q_max * abs(int(v)) * s for v, s in zip(row, shifts))
+            acc1_max = max(acc1_max, total)
+        # ``>>`` on a negative value floors towards -inf, so the magnitude
+        # after truncation can exceed the shifted magnitude bound by one.
+        dot_max = (acc1_max >> self.config.truncate_after_dot) + 1
+        sum_max = dot_max + abs(self.kernel_offset_int)
+        squared_max = sum_max * sum_max
+        kernel_max = (squared_max >> self.config.truncate_after_square) + 1
+        acc2_max = (
+            sum(abs(int(c)) for c in np.asarray(self.coeff_int)) * kernel_max
+            + abs(self.bias_int)
         )
-        bias_bits = max(abs(self.bias_int).bit_length() + 1, 2)
-        worst = max(acc1_bits, square_bits, acc2_bits, bias_bits) + 1
-        return worst <= 62
+        limit = 1 << 62
+        return max(acc1_max, squared_max, acc2_max) < limit
 
     def _accumulate(self, q_test: np.ndarray):
         """Run the integer pipeline for every (already quantised) test row."""

@@ -1,0 +1,46 @@
+"""Streaming / batched inference engine for fleets of wearable monitors.
+
+This package turns the one-shot reproduction pipeline into the *online*
+monitor of Figure 1 of the paper.  The per-patient signal path mirrors the
+figure stage by stage:
+
+    raw ECG chunks
+        │  :class:`repro.dsp.peaks.StreamingPeakDetector`
+        │  (band-pass → derivative → square → integrate → adaptive threshold,
+        │   with carry-over state across chunk boundaries)
+        ▼
+    R-peak / R-amplitude stream
+        │  :class:`repro.signals.windows.StreamingWindower`
+        │  (incremental three-minute window assembly)
+        ▼
+    per-window beat data
+        │  :meth:`repro.features.extractor.FeatureExtractor.extract_beats`
+        │  (HRV + Lorenz + AR-of-EDR + PSD-of-EDR — the 53 features)
+        ▼
+    feature vectors
+        │  :class:`~repro.svm.model.SVMModel` /
+        │  :class:`~repro.quant.quantized_model.QuantizedSVM`
+        │  (quadratic-kernel decision, float or bit-accurate fixed point)
+        ▼
+    per-window alarm decisions
+
+Two entry points:
+
+* :class:`~repro.serving.streaming.StreamingMonitor` — one patient, one
+  ECG stream, chunk in / decisions out;
+* :class:`~repro.serving.fleet.MonitorFleet` — many concurrent patients;
+  pending windows from all monitors are classified in a *single* vectorised
+  SVM call per drain, which is what lets one server keep up with a fleet of
+  body sensor nodes (see ``benchmarks/test_bench_serving.py``).
+"""
+
+from repro.serving.streaming import PendingWindow, StreamingMonitor, WindowDecision, classify_windows
+from repro.serving.fleet import MonitorFleet
+
+__all__ = [
+    "PendingWindow",
+    "WindowDecision",
+    "StreamingMonitor",
+    "MonitorFleet",
+    "classify_windows",
+]

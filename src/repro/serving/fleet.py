@@ -1,0 +1,148 @@
+"""Batched inference over a fleet of concurrent streaming monitors.
+
+A server receiving ECG chunks from many body sensor nodes should not run one
+SVM evaluation per window: the per-call Python and quantisation overhead
+dominates at fleet scale.  :class:`MonitorFleet` keeps one
+:class:`~repro.serving.streaming.StreamingMonitor` per patient, accumulates
+the windows they complete and, on :meth:`MonitorFleet.drain`, classifies *all*
+pending windows from *all* patients with a single vectorised
+``decision_function`` / ``predict`` pair — on the fixed-point model this is
+one int64 matrix pipeline for the whole batch, bit-identical to the
+per-window loop (see ``tests/test_serving.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+import numpy as np
+
+from repro.dsp.peaks import PanTompkinsParams
+from repro.serving.streaming import (
+    PendingWindow,
+    StreamingMonitor,
+    WindowDecision,
+    classify_windows,
+)
+from repro.signals.windows import WindowingParams
+
+__all__ = ["MonitorFleet"]
+
+
+class MonitorFleet:
+    """Many concurrent patients, one batched classifier.
+
+    Parameters
+    ----------
+    classifier:
+        Shared :class:`~repro.svm.model.SVMModel` or
+        :class:`~repro.quant.quantized_model.QuantizedSVM`.
+    fs:
+        Sampling frequency of the incoming ECG streams (Hz).
+    windowing / detector_params:
+        Shared configuration handed to every per-patient monitor.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        fs: float,
+        windowing: WindowingParams | None = None,
+        detector_params: PanTompkinsParams | None = None,
+    ) -> None:
+        self.classifier = classifier
+        self.fs = float(fs)
+        self.windowing = windowing
+        self.detector_params = detector_params
+        self._monitors: Dict[int, StreamingMonitor] = {}
+        self._pending: List[PendingWindow] = []
+
+    # ------------------------------------------------------------ membership
+    @property
+    def patient_ids(self) -> List[int]:
+        return sorted(self._monitors)
+
+    @property
+    def n_patients(self) -> int:
+        return len(self._monitors)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of completed windows awaiting the next :meth:`drain`."""
+        return len(self._pending)
+
+    def add_patient(self, patient_id: int) -> StreamingMonitor:
+        """Register a patient; returns their (classifier-less) monitor."""
+        patient_id = int(patient_id)
+        if patient_id in self._monitors:
+            raise KeyError("patient %d is already monitored" % patient_id)
+        monitor = StreamingMonitor(
+            patient_id,
+            self.fs,
+            classifier=None,
+            windowing=self.windowing,
+            detector_params=self.detector_params,
+        )
+        self._monitors[patient_id] = monitor
+        return monitor
+
+    def monitor(self, patient_id: int) -> StreamingMonitor:
+        return self._monitors[int(patient_id)]
+
+    # -------------------------------------------------------------- streaming
+    def push(self, patient_id: int, chunk: np.ndarray) -> int:
+        """Feed one ECG chunk of one patient; windows it completes are queued.
+
+        Returns the number of windows currently pending classification.
+        """
+        patient_id = int(patient_id)
+        if patient_id not in self._monitors:
+            self.add_patient(patient_id)
+        self._pending.extend(self._monitors[patient_id].push(chunk))
+        return len(self._pending)
+
+    def finish(self, patient_id: int | None = None) -> int:
+        """Flush one patient's stream (or all of them) into the pending queue."""
+        if patient_id is not None:
+            self._pending.extend(self._monitors[int(patient_id)].finish())
+        else:
+            for pid in self.patient_ids:
+                self._pending.extend(self._monitors[pid].finish())
+        return len(self._pending)
+
+    def drain(self) -> List[WindowDecision]:
+        """Classify every pending window in one batched SVM call."""
+        pending, self._pending = self._pending, []
+        return classify_windows(self.classifier, pending)
+
+    def run(
+        self, streams: Mapping[int, Iterable[np.ndarray]], drain_every: int = 0
+    ) -> List[WindowDecision]:
+        """Convenience driver: interleave the patients' chunk streams.
+
+        Chunks are consumed round-robin across patients (the arrival order a
+        server would see), the streams are flushed, and pending windows are
+        classified in batched drains — every ``drain_every`` pushed chunks
+        when positive, otherwise in a single final drain.
+        """
+        iterators = {int(pid): iter(chunks) for pid, chunks in streams.items()}
+        for pid in iterators:
+            if pid not in self._monitors:
+                self.add_patient(pid)
+        decisions: List[WindowDecision] = []
+        n_pushed = 0
+        while iterators:
+            for pid in list(iterators):
+                try:
+                    chunk = next(iterators[pid])
+                except StopIteration:
+                    del iterators[pid]
+                    continue
+                self.push(pid, chunk)
+                n_pushed += 1
+                if drain_every > 0 and n_pushed % drain_every == 0:
+                    decisions.extend(self.drain())
+        self.finish()
+        decisions.extend(self.drain())
+        decisions.sort(key=lambda d: (d.start_s, d.patient_id))
+        return decisions

@@ -1,0 +1,206 @@
+"""Single-patient streaming monitor: ECG chunks in, window decisions out.
+
+:class:`StreamingMonitor` chains the incremental R-peak detector, the
+incremental windower and the per-window feature extractor.  It deliberately
+*separates* feature extraction from classification: :meth:`StreamingMonitor.push`
+returns :class:`PendingWindow` objects (feature vectors awaiting a verdict) so
+that a :class:`~repro.serving.fleet.MonitorFleet` can pool pending windows from
+many patients into one batched SVM call.  For standalone use,
+:meth:`StreamingMonitor.process` classifies each batch of pending windows
+immediately with the monitor's own classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dsp.peaks import PanTompkinsParams, StreamingPeakDetector
+from repro.features.extractor import FeatureExtractor
+from repro.signals.windows import StreamingWindower, WindowingParams
+
+__all__ = ["PendingWindow", "WindowDecision", "StreamingMonitor", "classify_windows"]
+
+
+@dataclass(frozen=True)
+class PendingWindow:
+    """A completed analysis window waiting for a classifier verdict."""
+
+    patient_id: int
+    start_s: float
+    end_s: float
+    n_beats: int
+    #: The 53-entry feature vector, or ``None`` when the window was unusable
+    #: (too few beats, degenerate EDR segment, non-finite feature).
+    features: Optional[np.ndarray]
+
+    @property
+    def usable(self) -> bool:
+        return self.features is not None
+
+
+@dataclass(frozen=True)
+class WindowDecision:
+    """Alarm decision for one analysis window of one patient."""
+
+    patient_id: int
+    start_s: float
+    end_s: float
+    n_beats: int
+    usable: bool
+    #: Decision-function score (``None`` for unusable windows).
+    score: Optional[float]
+    #: ``True`` when the window was classified as seizure (+1).
+    alarm: bool
+
+
+def classify_windows(classifier, pending: Sequence[PendingWindow]) -> List[WindowDecision]:
+    """Classify a batch of pending windows with one vectorised SVM call.
+
+    ``classifier`` is anything with the ``decision_function`` / ``predict``
+    pair of :class:`~repro.svm.model.SVMModel` and
+    :class:`~repro.quant.quantized_model.QuantizedSVM`.  All usable windows
+    are stacked into a single feature matrix; labels come from one batched
+    ``predict`` call, so on the fixed-point model they are bit-identical to a
+    per-window loop.  Unusable windows yield ``alarm=False`` decisions.
+    """
+    usable = [i for i, window in enumerate(pending) if window.usable]
+    decisions: List[Optional[WindowDecision]] = [None] * len(pending)
+    if usable:
+        X = np.vstack([pending[i].features for i in usable])
+        if hasattr(classifier, "scores_and_labels"):
+            scores, labels = classifier.scores_and_labels(X)
+        else:
+            scores = np.asarray(classifier.decision_function(X), dtype=float)
+            labels = np.asarray(classifier.predict(X), dtype=int)
+        scores = np.asarray(scores, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        for row, i in enumerate(usable):
+            window = pending[i]
+            decisions[i] = WindowDecision(
+                patient_id=window.patient_id,
+                start_s=window.start_s,
+                end_s=window.end_s,
+                n_beats=window.n_beats,
+                usable=True,
+                score=float(scores[row]),
+                alarm=bool(labels[row] == 1),
+            )
+    for i, window in enumerate(pending):
+        if decisions[i] is None:
+            decisions[i] = WindowDecision(
+                patient_id=window.patient_id,
+                start_s=window.start_s,
+                end_s=window.end_s,
+                n_beats=window.n_beats,
+                usable=False,
+                score=None,
+                alarm=False,
+            )
+    return [d for d in decisions if d is not None]
+
+
+class StreamingMonitor:
+    """Online monitor for one patient's raw ECG stream.
+
+    Parameters
+    ----------
+    patient_id:
+        Identifier attached to every emitted window.
+    fs:
+        Sampling frequency of the incoming ECG chunks (Hz).
+    classifier:
+        Optional :class:`~repro.svm.model.SVMModel` or
+        :class:`~repro.quant.quantized_model.QuantizedSVM`; only needed for
+        the standalone :meth:`process` path (a fleet supplies its own).
+    windowing:
+        Window grid configuration (three-minute non-overlapping by default).
+    detector_params:
+        Pan–Tompkins tuning of the streaming R-peak detector.
+    """
+
+    def __init__(
+        self,
+        patient_id: int,
+        fs: float,
+        classifier=None,
+        windowing: WindowingParams | None = None,
+        detector_params: PanTompkinsParams | None = None,
+    ) -> None:
+        self.patient_id = int(patient_id)
+        self.fs = float(fs)
+        self.classifier = classifier
+        self._detector = StreamingPeakDetector(self.fs, detector_params)
+        self._windower = StreamingWindower(windowing)
+        self._extractor = FeatureExtractor()
+        self._n_windows = 0
+        self._n_usable = 0
+
+    @property
+    def time_seen_s(self) -> float:
+        """Stream time corresponding to the last pushed sample."""
+        return self._detector.time_seen_s
+
+    @property
+    def n_windows(self) -> int:
+        """Number of windows emitted so far (usable or not)."""
+        return self._n_windows
+
+    @property
+    def n_usable_windows(self) -> int:
+        return self._n_usable
+
+    def push(self, chunk: np.ndarray) -> List[PendingWindow]:
+        """Consume one chunk of raw ECG; return newly completed windows."""
+        indices, times, amplitudes = self._detector.process(chunk)
+        completed = self._windower.push(times, amplitudes)
+        completed += self._windower.advance(self._detector.finalized_time_s)
+        return self._featurize(completed)
+
+    def finish(self) -> List[PendingWindow]:
+        """Flush the detector and windower at end of stream."""
+        indices, times, amplitudes = self._detector.flush()
+        completed = self._windower.push(times, amplitudes, now_s=self._detector.time_seen_s)
+        completed += self._windower.flush()
+        return self._featurize(completed)
+
+    def process(self, chunk: np.ndarray) -> List[WindowDecision]:
+        """Push a chunk and classify the completed windows immediately."""
+        if self.classifier is None:
+            raise ValueError("this monitor has no classifier; use push() with a fleet")
+        return classify_windows(self.classifier, self.push(chunk))
+
+    def finish_and_classify(self) -> List[WindowDecision]:
+        """Flush the stream and classify the remaining windows."""
+        if self.classifier is None:
+            raise ValueError("this monitor has no classifier; use finish() with a fleet")
+        return classify_windows(self.classifier, self.finish())
+
+    # ------------------------------------------------------------- internals
+    def _featurize(self, windows) -> List[PendingWindow]:
+        min_beats = self._windower.params.min_beats
+        pending: List[PendingWindow] = []
+        for window in windows:
+            features: Optional[np.ndarray] = None
+            if window.n_beats >= min_beats:
+                try:
+                    features = self._extractor.extract_beats(
+                        window.beat_times_s, window.rr_s, window.r_amplitudes_mv
+                    )
+                except ValueError:
+                    features = None
+            self._n_windows += 1
+            if features is not None:
+                self._n_usable += 1
+            pending.append(
+                PendingWindow(
+                    patient_id=self.patient_id,
+                    start_s=window.start_s,
+                    end_s=window.end_s,
+                    n_beats=window.n_beats,
+                    features=features,
+                )
+            )
+        return pending

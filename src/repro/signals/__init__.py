@@ -29,7 +29,13 @@ from repro.signals.dataset import (
     SyntheticCohort,
     generate_cohort,
 )
-from repro.signals.windows import Window, WindowingParams, extract_windows
+from repro.signals.windows import (
+    BeatWindow,
+    StreamingWindower,
+    Window,
+    WindowingParams,
+    extract_windows,
+)
 
 __all__ = [
     "RRModelParams",
@@ -49,4 +55,6 @@ __all__ = [
     "Window",
     "WindowingParams",
     "extract_windows",
+    "BeatWindow",
+    "StreamingWindower",
 ]

@@ -23,7 +23,14 @@ import numpy as np
 from repro.signals.dataset import Recording
 from repro.signals.seizures import Seizure
 
-__all__ = ["Window", "WindowingParams", "extract_windows", "window_label"]
+__all__ = [
+    "Window",
+    "WindowingParams",
+    "extract_windows",
+    "window_label",
+    "BeatWindow",
+    "StreamingWindower",
+]
 
 
 @dataclass
@@ -103,6 +110,131 @@ def _candidate_starts(duration_s: float, seizures: Sequence[Seizure], params: Wi
                 starts.extend(np.arange(lo, hi + 1e-9, params.seizure_step_s))
     starts = np.unique(np.round(np.asarray(starts), 3))
     return starts
+
+
+@dataclass(frozen=True)
+class BeatWindow:
+    """A completed streaming analysis window carrying its own beat data.
+
+    Unlike :class:`Window`, which references a full :class:`Recording` by a
+    beat slice, a :class:`BeatWindow` is self-contained — exactly what a
+    streaming monitor has at hand when a window closes.  ``rr_s`` follows the
+    :meth:`Window.rr_of` convention: it contains every RR interval whose
+    *starting* beat falls inside the window, so it includes the interval
+    spanning the window boundary whenever the first beat after the window has
+    already been observed.
+    """
+
+    start_s: float
+    end_s: float
+    beat_times_s: np.ndarray
+    rr_s: np.ndarray
+    r_amplitudes_mv: np.ndarray
+
+    @property
+    def n_beats(self) -> int:
+        return int(self.beat_times_s.shape[0])
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class StreamingWindower:
+    """Incremental assembly of analysis windows from an incoming beat stream.
+
+    Beats (times + R amplitudes) are pushed as they are detected; completed
+    windows are emitted as :class:`BeatWindow` objects.  Consecutive windows
+    start ``params.step_s`` apart (the default ``step_s == window_s``
+    reproduces the non-overlapping three-minute grid of the monitor).
+
+    A window is emitted once either
+
+    * a beat at or past its end has been observed (so the boundary RR
+      interval is available), or
+    * the stream clock has advanced ``boundary_grace_s`` past its end (no
+      boundary beat is coming soon — e.g. a detector dropout).
+
+    The stream clock is advanced implicitly by pushed beats and explicitly by
+    :meth:`advance`, which a caller should feed with the *finalised* time of
+    its beat detector.
+    """
+
+    #: Extra stream time to wait for a window-boundary beat before closing a
+    #: window on the clock alone.
+    boundary_grace_s: float = 2.0
+
+    def __init__(self, params: WindowingParams | None = None) -> None:
+        self.params = params or WindowingParams()
+        if self.params.step_s <= 0:
+            raise ValueError("step_s must be positive")
+        self._times = np.empty(0)
+        self._amps = np.empty(0)
+        self._start = 0.0
+        self._clock = 0.0
+
+    @property
+    def window_start_s(self) -> float:
+        """Start time of the next window to be emitted."""
+        return self._start
+
+    def push(
+        self, beat_times_s: np.ndarray, r_amplitudes: np.ndarray, now_s: float | None = None
+    ) -> List[BeatWindow]:
+        """Add newly detected beats (sorted, after all previous ones)."""
+        beat_times_s = np.asarray(beat_times_s, dtype=float).ravel()
+        r_amplitudes = np.asarray(r_amplitudes, dtype=float).ravel()
+        if beat_times_s.shape != r_amplitudes.shape:
+            raise ValueError("beat times and amplitudes must have the same length")
+        if beat_times_s.size:
+            if self._times.size and beat_times_s[0] < self._times[-1]:
+                raise ValueError("beats must be pushed in non-decreasing time order")
+            self._times = np.concatenate((self._times, beat_times_s))
+            self._amps = np.concatenate((self._amps, r_amplitudes))
+            self._clock = max(self._clock, float(beat_times_s[-1]))
+        if now_s is not None:
+            self._clock = max(self._clock, float(now_s))
+        return self._emit(final=False)
+
+    def advance(self, now_s: float) -> List[BeatWindow]:
+        """Advance the stream clock without new beats (detector finalised time)."""
+        self._clock = max(self._clock, float(now_s))
+        return self._emit(final=False)
+
+    def flush(self) -> List[BeatWindow]:
+        """Emit every fully elapsed window; the trailing partial one is dropped."""
+        return self._emit(final=True)
+
+    def _emit(self, final: bool) -> List[BeatWindow]:
+        out: List[BeatWindow] = []
+        while True:
+            end = self._start + self.params.window_s
+            has_boundary_beat = bool(self._times.size) and self._times[-1] >= end
+            closed_by_clock = self._clock >= (end if final else end + self.boundary_grace_s)
+            if not (has_boundary_beat or closed_by_clock):
+                break
+            first = int(np.searchsorted(self._times, self._start, side="left"))
+            last = int(np.searchsorted(self._times, end, side="left"))
+            beats = self._times[first:last].copy()
+            if last < self._times.size:
+                rr = np.diff(self._times[first : last + 1])
+            else:
+                rr = np.diff(beats)
+            out.append(
+                BeatWindow(
+                    start_s=float(self._start),
+                    end_s=float(end),
+                    beat_times_s=beats,
+                    rr_s=rr,
+                    r_amplitudes_mv=self._amps[first:last].copy(),
+                )
+            )
+            self._start += self.params.step_s
+            keep = int(np.searchsorted(self._times, self._start, side="left"))
+            if keep > 0:
+                self._times = self._times[keep:]
+                self._amps = self._amps[keep:]
+        return out
 
 
 def extract_windows(recording: Recording, params: WindowingParams | None = None) -> List[Window]:

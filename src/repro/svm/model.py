@@ -97,6 +97,17 @@ class SVMModel:
         labels = np.where(scores >= 0.0, 1, -1)
         return labels.astype(int)
 
+    def scores_and_labels(self, X: np.ndarray) -> tuple:
+        """Decision scores and their sign labels from one kernel evaluation.
+
+        Mirrors :meth:`QuantizedSVM.scores_and_labels
+        <repro.quant.quantized_model.QuantizedSVM.scores_and_labels>` so the
+        batched serving drain can treat float and fixed-point classifiers
+        uniformly without evaluating the Gram matrix twice.
+        """
+        scores = self.decision_function(X)
+        return scores, np.where(scores >= 0.0, 1, -1).astype(int)
+
     def scaled_support_vectors(self) -> np.ndarray:
         """The support vectors in the (scaled) space seen by the kernel.
 

@@ -68,6 +68,38 @@ class TestClassificationMetrics:
         with pytest.raises(ValueError):
             geometric_mean(-0.1, 0.5)
 
+    def test_undefined_specificity_without_negatives(self):
+        metrics = ClassificationMetrics(5, 0, 0, 1)
+        assert metrics.specificity is None
+        assert metrics.gm is None
+        assert metrics.sensitivity == pytest.approx(5 / 6)
+
+    def test_empty_evaluation_has_no_metrics(self):
+        metrics = ClassificationMetrics(0, 0, 0, 0)
+        assert metrics.sensitivity is None
+        assert metrics.specificity is None
+        assert metrics.gm is None
+
+    def test_merge_fills_in_the_missing_class(self):
+        # A positives-only fold pooled with a negatives-only fold yields a
+        # fully defined GM even though each half has gm == None.
+        only_negatives = ClassificationMetrics(0, 5, 1, 0)
+        only_positives = ClassificationMetrics(3, 0, 0, 1)
+        assert only_negatives.gm is None and only_positives.gm is None
+        merged = only_negatives.merged_with(only_positives)
+        assert merged.sensitivity == pytest.approx(3 / 4)
+        assert merged.specificity == pytest.approx(5 / 6)
+        assert merged.gm == pytest.approx(np.sqrt((3 / 4) * (5 / 6)))
+
+    def test_merge_is_commutative_and_preserves_none(self):
+        a = ClassificationMetrics(0, 0, 0, 0)
+        b = ClassificationMetrics(0, 7, 2, 0)
+        ab, ba = a.merged_with(b), b.merged_with(a)
+        assert ab == ba
+        assert ab.sensitivity is None  # still no positives after pooling
+        assert ab.gm is None
+        assert ab.specificity == pytest.approx(7 / 9)
+
 
 class TestLeaveOneSessionOut:
     def test_one_fold_per_session(self, feature_matrix):

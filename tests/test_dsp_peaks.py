@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dsp.peaks import PanTompkinsParams, detect_r_peaks
+from repro.dsp.peaks import PanTompkinsParams, StreamingPeakDetector, detect_r_peaks
 from repro.signals.ecg_model import ECGWaveformParams, synthesize_ecg
 from repro.signals.respiration import generate_respiration
 from repro.signals.rr_model import RRModelParams, generate_rr_series
@@ -53,3 +53,86 @@ class TestDetectRPeaks:
     def test_flat_signal_returns_few_peaks(self):
         indices, _ = detect_r_peaks(np.zeros(1280), 128.0)
         assert indices.size <= 2
+
+    def test_low_sampling_rate_does_not_raise(self):
+        # Regression: with fs <= 36 Hz the fixed 5-18 Hz band used to violate
+        # high_hz < fs/2 and raise from bandpass_fir; the band is now clamped.
+        for fs in (20.0, 32.0, 36.0):
+            t = np.arange(int(fs * 30)) / fs
+            signal = np.sin(2.0 * np.pi * 1.2 * t)
+            indices, times = detect_r_peaks(signal, fs)
+            assert indices.shape == times.shape
+
+    def test_short_trace_does_not_raise(self):
+        # Regression: numtaps ~ fs used to exceed the trace length for traces
+        # barely longer than one second; the tap count is now clamped.
+        fs = 256.0
+        t = np.arange(int(fs * 1.2)) / fs
+        signal = np.sin(2.0 * np.pi * 1.5 * t)
+        indices, times = detect_r_peaks(signal, fs)
+        assert indices.shape == times.shape
+
+    def test_low_rate_spike_train_detected(self):
+        # At 30 Hz the clamped band must still localise strong spikes.
+        fs = 30.0
+        n = int(fs * 60)
+        signal = 0.01 * np.random.default_rng(0).standard_normal(n)
+        spike_positions = np.arange(int(fs), n - int(fs), int(0.8 * fs))
+        signal[spike_positions] += 2.0
+        indices, _ = detect_r_peaks(signal, fs)
+        assert indices.size >= 0.8 * spike_positions.size
+
+
+class TestStreamingPeakDetector:
+    def _stream(self, trace, fs, chunk):
+        detector = StreamingPeakDetector(fs)
+        indices = []
+        for lo in range(0, trace.size, chunk):
+            i, t, a = detector.process(trace[lo : lo + chunk])
+            assert i.shape == t.shape == a.shape
+            indices.append(i)
+        i, _, _ = detector.flush()
+        indices.append(i)
+        return np.concatenate(indices)
+
+    def test_matches_batch_detector(self, synthetic_ecg):
+        ecg, _ = synthetic_ecg
+        batch_indices, _ = detect_r_peaks(ecg.ecg_mv, ecg.fs)
+        stream_indices = self._stream(ecg.ecg_mv, ecg.fs, 4096)
+        tolerance = int(0.04 * ecg.fs)
+        matched = sum(
+            np.min(np.abs(stream_indices - p)) <= tolerance for p in batch_indices
+        )
+        assert matched / batch_indices.size > 0.95
+
+    def test_chunk_size_invariance(self, synthetic_ecg):
+        # The emitted beat sequence must not depend on how the stream is cut
+        # into chunks: the initial threshold level is frozen from exactly the
+        # first two seconds, and every later stage only finalises samples
+        # whose full filtering/integration context has arrived.
+        ecg, _ = synthetic_ecg
+        reference = self._stream(ecg.ecg_mv, ecg.fs, 4096)
+        for chunk in (257, 1280, 8192, ecg.ecg_mv.size):
+            assert np.array_equal(self._stream(ecg.ecg_mv, ecg.fs, chunk), reference)
+
+    def test_monotonic_and_refractory_across_chunks(self, synthetic_ecg):
+        ecg, _ = synthetic_ecg
+        stream_indices = self._stream(ecg.ecg_mv, ecg.fs, 333)
+        refractory = int(0.25 * ecg.fs)
+        assert np.all(np.diff(stream_indices) >= refractory)
+
+    def test_times_and_finalized_clock(self, synthetic_ecg):
+        ecg, _ = synthetic_ecg
+        detector = StreamingPeakDetector(ecg.fs)
+        detector.process(ecg.ecg_mv[:12800])
+        assert detector.time_seen_s == pytest.approx(12800 / ecg.fs)
+        assert 0.0 < detector.finalized_time_s <= detector.time_seen_s
+
+    def test_empty_and_tiny_chunks(self):
+        detector = StreamingPeakDetector(128.0)
+        i, t, a = detector.process(np.empty(0))
+        assert i.size == 0
+        i, t, a = detector.process(np.zeros(5))
+        assert i.size == 0
+        i, t, a = detector.flush()
+        assert i.size == 0

@@ -5,6 +5,7 @@ import pytest
 
 from repro.svm.kernels import (
     GaussianKernel,
+    Kernel,
     LinearKernel,
     PolynomialKernel,
     kernel_from_name,
@@ -77,6 +78,35 @@ class TestKernels:
         assert PolynomialKernel(degree=2).name == "quadratic"
         assert PolynomialKernel(degree=3).name == "cubic"
         assert PolynomialKernel(degree=5).name == "poly5"
+
+    def test_poly_without_degree_raises_helpful_error(self):
+        # 'poly' with no/invalid suffix used to crash with an opaque int('')
+        # ValueError; it must now raise the documented unknown-name error.
+        for bad in ("poly", "polyx", "poly2.5", "poly-1", "poly0"):
+            with pytest.raises(ValueError, match="unknown kernel name"):
+                kernel_from_name(bad)
+
+    def test_base_diagonal_default_matches_gram(self, random_points):
+        class OffsetKernel(Kernel):
+            """Override __call__ only; diagonal() must fall back correctly."""
+
+            def __call__(self, a, b):
+                a = np.atleast_2d(np.asarray(a, dtype=float))
+                b = np.atleast_2d(np.asarray(b, dtype=float))
+                return a @ b.T + 0.5
+
+        a, _ = random_points
+        kernel = OffsetKernel()
+        # Force several row blocks so the blocked path is exercised.
+        kernel._DIAGONAL_BLOCK = 5
+        assert np.allclose(kernel.diagonal(a), np.diag(kernel(a, a)))
+
+    def test_base_diagonal_empty_input(self):
+        class OffsetKernel(Kernel):
+            def __call__(self, a, b):
+                return np.atleast_2d(a) @ np.atleast_2d(b).T
+
+        assert OffsetKernel().diagonal(np.empty((0, 4))).size == 0
 
 
 class TestStandardScaler:

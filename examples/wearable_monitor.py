@@ -1,22 +1,26 @@
 #!/usr/bin/env python3
-"""Wearable-monitor walkthrough: a fleet of streaming monitors on one server.
+"""Wearable-monitor walkthrough: a sharded fleet of streaming monitors.
 
 The two other examples start from pre-extracted feature matrices.  This one
-exercises the *full* online signal path of Figure 1 of the paper, the way a
-server receiving chunks from several Wireless Body Sensor Nodes would, on top
-of the :mod:`repro.serving` engine:
+exercises the *full* online signal path of Figure 1 of the paper at fleet
+scale, the way a backend receiving framed chunks from sixteen Wireless Body
+Sensor Nodes would, on top of the :mod:`repro.serving` engine:
 
 1. synthesise raw single-lead ECG traces for one monitored session per
    patient (the remaining sessions form the training data),
 2. train a quadratic SVM and quantise it to the paper's 9/15-bit fixed-point
    design point,
-3. stream every monitored trace in ~30-second chunks through a
-   :class:`~repro.serving.fleet.MonitorFleet` — each chunk runs incremental
-   Pan–Tompkins R-peak detection and three-minute window assembly with
-   carry-over state, and completed windows from *all* patients are classified
-   in batched fixed-point SVM calls,
-4. print the per-patient alarm timelines next to the expert annotations, and
-5. report the energy the accelerator model attributes to the fleet.
+3. frame every ~30-second ECG chunk in the versioned binary wire format
+   (float32 payload, CRC-protected, per-patient sequence numbers — see
+   :mod:`repro.serving.wire`),
+4. feed the frames to a 4-shard :class:`~repro.serving.sharding.ShardedFleet`
+   — consistent hashing routes each patient to a shard, each chunk runs
+   incremental Pan–Tompkins R-peak detection and three-minute window
+   assembly with carry-over state, and a latency/batch
+   :class:`~repro.serving.scheduler.DrainPolicy` decides when the pending
+   windows of all patients are classified in batched fixed-point SVM calls,
+5. print the per-patient alarm summaries next to the expert annotations, and
+6. report the energy the accelerator model attributes to the fleet.
 
 Run with:  python examples/wearable_monitor.py
 """
@@ -27,25 +31,36 @@ from repro.core import hardware_cost
 from repro.features.extractor import extract_cohort_features
 from repro.hardware.technology import TECH_40NM
 from repro.quant import QuantizationConfig, QuantizedSVM
-from repro.serving import MonitorFleet
+from repro.serving import (
+    AnyOf,
+    ChunkCountPolicy,
+    PendingWindowPolicy,
+    ShardedFleet,
+    decision_sort_key,
+    encode_chunk,
+)
 from repro.signals.dataset import CohortParams, generate_cohort
 from repro.signals.ecg_model import synthesize_ecg
 from repro.signals.windows import WindowingParams, window_label
 from repro.svm.model import train_svm
 
+#: Monitored fleet size (one wireless node per patient) and shard count.
+N_PATIENTS = 16
+N_SHARDS = 4
 #: Seconds of ECG per transmitted chunk (~30 s at 128 Hz).
 CHUNK_SAMPLES = 3840
-#: Drain the fleet's pending windows every this many received chunks.
-DRAIN_EVERY = 16
+#: Drain whenever 32 windows are pending, or every 64 received frames,
+#: whichever comes first.
+DRAIN_POLICY = AnyOf([PendingWindowPolicy(32), ChunkCountPolicy(64)])
 
 
 def main() -> None:
     # --------------------------------------------------------------- cohort
     params = CohortParams(
-        n_patients=4,
-        n_sessions=8,
-        session_duration_s=2400.0,
-        total_seizures=12,
+        n_patients=N_PATIENTS,
+        n_sessions=2 * N_PATIENTS,
+        session_duration_s=900.0,
+        total_seizures=20,
         seed=42,
         render_ecg=False,
     )
@@ -63,17 +78,20 @@ def main() -> None:
     train_mask = ~np.isin(features.session_ids, sorted(monitored_sessions))
     X_train, y_train = features.X[train_mask], features.y[train_mask]
 
-    print("Monitored fleet:")
+    print("Monitored fleet (%d patients):" % len(monitored))
     for patient_id, recording in sorted(monitored.items()):
-        print(
-            "  patient %d, session %d, %d annotated seizure(s)"
-            % (patient_id, recording.session_id, recording.n_seizures)
+        annotations = ", ".join(
+            "onset %.0f s / %.0f s" % (s.onset_s, s.duration_s) for s in recording.seizures
         )
-        for seizure in recording.seizures:
-            print(
-                "    expert annotation: onset %6.0f s, duration %4.0f s"
-                % (seizure.onset_s, seizure.duration_s)
+        print(
+            "  patient %2d, session %2d: %d seizure(s)%s"
+            % (
+                patient_id,
+                recording.session_id,
+                recording.n_seizures,
+                "  [%s]" % annotations if annotations else "",
             )
+        )
 
     # ------------------------------------------------------------- training
     model = train_svm(X_train, y_train)
@@ -83,36 +101,78 @@ def main() -> None:
         % model.n_support_vectors
     )
 
-    # ------------------------------------------ raw ECG -> per-patient chunks
+    # --------------------------------------- raw ECG -> wire-format frames
     rng = np.random.default_rng(7)
-    streams = {}
+    frames = {}
     for patient_id, recording in sorted(monitored.items()):
         ecg = synthesize_ecg(
             recording.beat_times_s, recording.duration_s, recording.respiration, rng
         )
-        streams[patient_id] = [
-            ecg.ecg_mv[lo : lo + CHUNK_SAMPLES]
-            for lo in range(0, ecg.ecg_mv.size, CHUNK_SAMPLES)
-        ]
         fs = ecg.fs
-    n_chunks = sum(len(chunks) for chunks in streams.values())
+        frames[patient_id] = [
+            encode_chunk(
+                patient_id,
+                seq,
+                fs,
+                ecg.ecg_mv[lo : lo + CHUNK_SAMPLES],
+                dtype=np.float32,
+            )
+            for seq, lo in enumerate(range(0, ecg.ecg_mv.size, CHUNK_SAMPLES))
+        ]
+    n_frames = sum(len(chunks) for chunks in frames.values())
+    n_bytes = sum(len(frame) for chunks in frames.values() for frame in chunks)
     print(
-        "Streaming %d chunks (%.0f s each) from %d patients, drained every %d chunks"
-        % (n_chunks, CHUNK_SAMPLES / fs, len(streams), DRAIN_EVERY)
+        "Encoded %d wire frames (%.1f MiB, float32 payload, ~%.0f s of ECG each)"
+        % (n_frames, n_bytes / 2**20, CHUNK_SAMPLES / fs)
     )
 
-    # ------------------------------------------- fleet streaming + inference
-    fleet = MonitorFleet(detector, fs)
-    decisions = fleet.run(streams, drain_every=DRAIN_EVERY)
+    # -------------------------------------- sharded streaming + inference
+    fleet = ShardedFleet(detector, fs, n_shards=N_SHARDS, drain_policy=DRAIN_POLICY)
+    by_shard = {}
+    for patient_id in sorted(monitored):
+        by_shard.setdefault(fleet.shard_of(patient_id), []).append(patient_id)
+    print("Consistent-hash shard assignment:")
+    for shard in sorted(by_shard):
+        print("  shard %d <- patients %s" % (shard, by_shard[shard]))
+    print("Drain policy: %r" % DRAIN_POLICY)
 
+    # Feed the frames round-robin across patients — the arrival order a
+    # backend multiplexing sixteen uplinks would see — polling the drain
+    # policy after every frame.
+    decisions = []
+    n_drains = 0
+    iterators = {pid: iter(chunks) for pid, chunks in frames.items()}
+    while iterators:
+        for pid in list(iterators):
+            try:
+                frame = next(iterators[pid])
+            except StopIteration:
+                del iterators[pid]
+                continue
+            fleet.push_wire(frame)
+            drained = fleet.maybe_drain()
+            if drained:
+                n_drains += 1
+                decisions.extend(drained)
+    fleet.finish()
+    decisions.extend(fleet.drain())
+    decisions.sort(key=decision_sort_key)
+    print(
+        "Streamed %d frames through %d shards; %d policy-triggered drains + final flush"
+        % (n_frames, N_SHARDS, n_drains)
+    )
+
+    # ------------------------------------------------- per-patient timelines
     windowing = WindowingParams()
-    print("\nAlarm timelines (one three-minute window per line):")
+    print("\nPer-patient window summaries (three-minute windows):")
     n_windows = 0
     n_classified = 0
     n_correct = 0
     n_alarms = 0
     for patient_id, recording in sorted(monitored.items()):
-        print("  patient %d:" % patient_id)
+        events = []
+        patient_correct = 0
+        patient_classified = 0
         for decision in [d for d in decisions if d.patient_id == patient_id]:
             truth = window_label(
                 decision.start_s,
@@ -120,30 +180,36 @@ def main() -> None:
                 recording.seizures,
                 windowing.min_ictal_fraction,
             )
-            marker = "ALARM" if decision.alarm else "  -  "
             predicted = 1 if decision.alarm else -1
-            if not decision.usable:
-                agreement = "unusable window"
-            elif predicted == truth:
-                agreement = "ok"
-            else:
-                agreement = "missed" if truth == 1 else "false alarm"
             n_windows += 1
             n_classified += int(decision.usable)
             n_alarms += int(decision.alarm)
-            n_correct += int(decision.usable and predicted == truth)
-            print(
-                "    %5.0f - %5.0f s   %s   (annotation: %s, %s)"
-                % (
-                    decision.start_s,
-                    decision.end_s,
-                    marker,
-                    "seizure" if truth == 1 else "background",
-                    agreement,
+            correct = decision.usable and predicted == truth
+            n_correct += int(correct)
+            patient_classified += int(decision.usable)
+            patient_correct += int(correct)
+            if decision.alarm or truth == 1:
+                status = (
+                    "ALARM, seizure annotated"
+                    if decision.alarm and truth == 1
+                    else ("FALSE ALARM" if decision.alarm else "MISSED seizure")
                 )
+                events.append(
+                    "    %5.0f - %5.0f s   %s" % (decision.start_s, decision.end_s, status)
+                )
+        print(
+            "  patient %2d: %d/%d windows correct%s"
+            % (
+                patient_id,
+                patient_correct,
+                patient_classified,
+                "" if events else ", quiet session",
             )
+        )
+        for line in events:
+            print(line)
     print(
-        "window accuracy across the fleet: %d / %d classified (%d unusable), %d alarm(s) raised"
+        "\nFleet window accuracy: %d / %d classified (%d unusable), %d alarm(s) raised"
         % (n_correct, n_classified, n_windows - n_classified, n_alarms)
     )
 

@@ -24,23 +24,72 @@ figure stage by stage:
         ▼
     per-window alarm decisions
 
-Two entry points:
+Entry points, smallest to largest deployment:
 
 * :class:`~repro.serving.streaming.StreamingMonitor` — one patient, one
   ECG stream, chunk in / decisions out;
 * :class:`~repro.serving.fleet.MonitorFleet` — many concurrent patients;
   pending windows from all monitors are classified in a *single* vectorised
   SVM call per drain, which is what lets one server keep up with a fleet of
-  body sensor nodes (see ``benchmarks/test_bench_serving.py``).
+  body sensor nodes (see ``benchmarks/test_bench_serving.py``);
+* :class:`~repro.serving.sharding.ShardedFleet` — N consistent-hash-routed
+  fleet shards behind the same interface (serial, thread-pool or
+  process-per-shard backends), decision-for-decision identical to a single
+  fleet (``tests/test_serving_sharding.py``).
+
+Cross-cutting pieces: :mod:`repro.serving.wire` frames ECG chunks for
+transport (versioned binary format, CRC, per-patient sequence numbers) and
+:mod:`repro.serving.scheduler` decides *when* fleets classify their queued
+windows (chunk-count, queue-size or latency-triggered
+:class:`~repro.serving.scheduler.DrainPolicy` objects).
 """
 
 from repro.serving.streaming import PendingWindow, StreamingMonitor, WindowDecision, classify_windows
-from repro.serving.fleet import MonitorFleet
+from repro.serving.fleet import MonitorFleet, decision_sort_key
+from repro.serving.scheduler import (
+    AnyOf,
+    ChunkCountPolicy,
+    DrainPolicy,
+    DrainStats,
+    LatencyPolicy,
+    PendingWindowPolicy,
+)
+from repro.serving.sharding import HashRing, ShardDrainError, ShardedFleet
+from repro.serving.wire import (
+    DuplicateChunkError,
+    EcgChunk,
+    OutOfOrderChunkError,
+    SequenceError,
+    SequenceTracker,
+    WireFormatError,
+    decode_chunk,
+    encode_chunk,
+    iter_chunks,
+)
 
 __all__ = [
     "PendingWindow",
     "WindowDecision",
     "StreamingMonitor",
     "MonitorFleet",
+    "ShardedFleet",
+    "ShardDrainError",
+    "HashRing",
     "classify_windows",
+    "decision_sort_key",
+    "DrainPolicy",
+    "DrainStats",
+    "ChunkCountPolicy",
+    "PendingWindowPolicy",
+    "LatencyPolicy",
+    "AnyOf",
+    "EcgChunk",
+    "encode_chunk",
+    "decode_chunk",
+    "iter_chunks",
+    "SequenceTracker",
+    "SequenceError",
+    "DuplicateChunkError",
+    "OutOfOrderChunkError",
+    "WireFormatError",
 ]

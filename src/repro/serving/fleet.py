@@ -9,24 +9,98 @@ pending windows from *all* patients with a single vectorised
 ``decision_function`` / ``predict`` pair — on the fixed-point model this is
 one int64 matrix pipeline for the whole batch, bit-identical to the
 per-window loop (see ``tests/test_serving.py``).
+
+*When* to drain is a pluggable :class:`~repro.serving.scheduler.DrainPolicy`
+(chunk-count, queue-size or wall-clock-latency triggered); the fleet
+maintains the :class:`~repro.serving.scheduler.DrainStats` the policy
+observes and offers :meth:`MonitorFleet.maybe_drain` as the poll point.
+Chunks can arrive either as raw arrays (:meth:`MonitorFleet.push`) or as
+framed bytes in the :mod:`repro.serving.wire` format
+(:meth:`MonitorFleet.push_wire`, with per-patient sequence enforcement).
+A fleet is one *shard* of the horizontally scaled
+:class:`~repro.serving.sharding.ShardedFleet`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
 from repro.dsp.peaks import PanTompkinsParams
+from repro.serving.scheduler import ChunkCountPolicy, DrainPolicy, DrainStats
 from repro.serving.streaming import (
     PendingWindow,
     StreamingMonitor,
     WindowDecision,
     classify_windows,
 )
+from repro.serving.wire import decode_chunk_checked
 from repro.signals.windows import WindowingParams
 
-__all__ = ["MonitorFleet"]
+__all__ = ["MonitorFleet", "decision_sort_key", "run_streams"]
+
+
+def decision_sort_key(decision: WindowDecision):
+    """Canonical ordering of fleet output: by window start, then patient.
+
+    Both :meth:`MonitorFleet.run` and the sharded fleet sort their merged
+    decisions with this key, so any fleet topology over the same streams
+    yields the same decision *sequence*, not just the same decision set.
+    """
+    return (decision.start_s, decision.patient_id)
+
+
+def run_streams(
+    fleet,
+    streams: Mapping[int, Iterable[np.ndarray]],
+    drain_every: int = 0,
+    policy: DrainPolicy | None = None,
+) -> List[WindowDecision]:
+    """The shared convenience driver behind ``MonitorFleet.run`` and
+    ``ShardedFleet.run``: interleave the patients' chunk streams.
+
+    Chunks are consumed round-robin across patients (the arrival order a
+    server would see) and the streams are flushed at the end.  Pending
+    windows are classified in batched drains whenever the drain policy
+    triggers — ``policy`` if given, else the fleet's own ``drain_policy``,
+    else (for ``drain_every > 0``) a
+    :class:`~repro.serving.scheduler.ChunkCountPolicy`; with no policy at
+    all there is a single final drain.  Decisions are returned in the
+    canonical :func:`decision_sort_key` order.
+
+    One driver for both fleet shapes is what keeps their arrival order and
+    drain scheduling identical — the precondition of the sharded-vs-single
+    parity guarantee.
+    """
+    if policy is None:
+        policy = fleet.drain_policy
+    if policy is None and drain_every > 0:
+        policy = ChunkCountPolicy(drain_every)
+    previous_policy = fleet.drain_policy
+    fleet.drain_policy = policy
+    try:
+        iterators = {int(pid): iter(chunks) for pid, chunks in streams.items()}
+        for pid in iterators:
+            if not fleet.has_patient(pid):
+                fleet.add_patient(pid)
+        decisions: List[WindowDecision] = []
+        while iterators:
+            for pid in list(iterators):
+                try:
+                    chunk = next(iterators[pid])
+                except StopIteration:
+                    del iterators[pid]
+                    continue
+                fleet.push(pid, chunk)
+                decisions.extend(fleet.maybe_drain())
+        fleet.finish()
+        decisions.extend(fleet.drain())
+    finally:
+        fleet.drain_policy = previous_policy
+    decisions.sort(key=decision_sort_key)
+    return decisions
 
 
 class MonitorFleet:
@@ -41,6 +115,21 @@ class MonitorFleet:
         Sampling frequency of the incoming ECG streams (Hz).
     windowing / detector_params:
         Shared configuration handed to every per-patient monitor.
+    drain_policy:
+        Optional :class:`~repro.serving.scheduler.DrainPolicy` consulted by
+        :meth:`maybe_drain` (and by :meth:`run` after every pushed chunk).
+        Without one, draining is purely manual.
+    auto_register:
+        Contract for chunks of unknown patients.  ``True`` (default): the
+        fleet transparently creates a monitor on first contact — the right
+        behaviour for a server where nodes may start transmitting at any
+        time.  ``False``: only explicitly :meth:`add_patient`-ed ids are
+        accepted and anything else raises :class:`KeyError` — the right
+        behaviour when an upstream registry owns patient lifecycle and a
+        stray id is a routing bug.
+    clock:
+        Monotonic time source used for latency-based drain policies;
+        injectable for deterministic tests.
     """
 
     def __init__(
@@ -49,13 +138,21 @@ class MonitorFleet:
         fs: float,
         windowing: WindowingParams | None = None,
         detector_params: PanTompkinsParams | None = None,
+        drain_policy: DrainPolicy | None = None,
+        auto_register: bool = True,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.classifier = classifier
         self.fs = float(fs)
         self.windowing = windowing
         self.detector_params = detector_params
+        self.drain_policy = drain_policy
+        self.auto_register = bool(auto_register)
+        self._clock = clock
         self._monitors: Dict[int, StreamingMonitor] = {}
         self._pending: List[PendingWindow] = []
+        self._chunks_since_drain = 0
+        self._oldest_pending_t: Optional[float] = None
 
     # ------------------------------------------------------------ membership
     @property
@@ -89,60 +186,119 @@ class MonitorFleet:
     def monitor(self, patient_id: int) -> StreamingMonitor:
         return self._monitors[int(patient_id)]
 
+    def has_patient(self, patient_id: int) -> bool:
+        return int(patient_id) in self._monitors
+
+    def _monitor_for_push(self, patient_id: int) -> StreamingMonitor:
+        patient_id = int(patient_id)
+        monitor = self._monitors.get(patient_id)
+        if monitor is None:
+            if not self.auto_register:
+                raise KeyError(
+                    "unknown patient %d (auto_register=False; call add_patient first)"
+                    % patient_id
+                )
+            monitor = self.add_patient(patient_id)
+        return monitor
+
     # -------------------------------------------------------------- streaming
-    def push(self, patient_id: int, chunk: np.ndarray) -> int:
+    def push(self, patient_id: int, chunk: np.ndarray, seq: int | None = None) -> int:
         """Feed one ECG chunk of one patient; windows it completes are queued.
+
+        Unknown ``patient_id`` values follow the ``auto_register`` contract
+        (see the class docstring).  ``seq``, when given, is enforced by the
+        patient's monitor (duplicates / gaps raise, see
+        :meth:`~repro.serving.streaming.StreamingMonitor.push`).
 
         Returns the number of windows currently pending classification.
         """
-        patient_id = int(patient_id)
-        if patient_id not in self._monitors:
-            self.add_patient(patient_id)
-        self._pending.extend(self._monitors[patient_id].push(chunk))
+        monitor = self._monitor_for_push(patient_id)
+        self._queue(monitor.push(chunk, seq=seq))
+        self._chunks_since_drain += 1
+        return len(self._pending)
+
+    def push_wire(self, frame: bytes) -> int:
+        """Feed one wire-format frame (see :mod:`repro.serving.wire`).
+
+        The frame's sampling frequency must match the fleet's; its sequence
+        number is enforced against the patient's stream.  Returns the pending
+        window count, like :meth:`push`.
+        """
+        chunk = decode_chunk_checked(frame, self.fs)
+        return self.push(chunk.patient_id, chunk.samples, seq=chunk.seq)
+
+    def enqueue(self, windows: Iterable[PendingWindow]) -> int:
+        """Queue externally produced pending windows for the next drain.
+
+        This is the replay / offload entry point: windows featurised
+        elsewhere (an edge node, a recorded session, a benchmark) join the
+        same batched classification path as live streams.
+        """
+        self._queue(list(windows))
         return len(self._pending)
 
     def finish(self, patient_id: int | None = None) -> int:
         """Flush one patient's stream (or all of them) into the pending queue."""
         if patient_id is not None:
-            self._pending.extend(self._monitors[int(patient_id)].finish())
+            self._queue(self._monitors[int(patient_id)].finish())
         else:
             for pid in self.patient_ids:
-                self._pending.extend(self._monitors[pid].finish())
+                self._queue(self._monitors[pid].finish())
         return len(self._pending)
+
+    def _queue(self, windows: List[PendingWindow]) -> None:
+        if windows and not self._pending:
+            self._oldest_pending_t = self._clock()
+        self._pending.extend(windows)
+
+    # -------------------------------------------------------------- draining
+    def stats(self) -> DrainStats:
+        """Queue-state snapshot for :class:`~repro.serving.scheduler.DrainPolicy`."""
+        if self._pending and self._oldest_pending_t is not None:
+            oldest_age = max(0.0, self._clock() - self._oldest_pending_t)
+        else:
+            oldest_age = 0.0
+        return DrainStats(
+            pending_windows=len(self._pending),
+            chunks_since_drain=self._chunks_since_drain,
+            oldest_pending_age_s=oldest_age,
+            n_patients=len(self._monitors),
+        )
+
+    def should_drain(self) -> bool:
+        """Whether the configured drain policy wants a drain right now."""
+        return self.drain_policy is not None and self.drain_policy.should_drain(self.stats())
+
+    def maybe_drain(self) -> List[WindowDecision]:
+        """Drain if (and only if) the drain policy triggers; else ``[]``."""
+        if self.drain_policy is None:
+            return []
+        stats = self.stats()
+        if not self.drain_policy.should_drain(stats):
+            return []
+        return self._drain(stats)
 
     def drain(self) -> List[WindowDecision]:
         """Classify every pending window in one batched SVM call."""
-        pending, self._pending = self._pending, []
-        return classify_windows(self.classifier, pending)
+        return self._drain(self.stats())
+
+    def _drain(self, stats: DrainStats) -> List[WindowDecision]:
+        # Classify BEFORE popping the queue: if the classifier raises, every
+        # window stays pending and the drain can be retried — a failed drain
+        # must never lose seizure-alarm windows.
+        decisions = classify_windows(self.classifier, self._pending)
+        self._pending = []
+        self._chunks_since_drain = 0
+        self._oldest_pending_t = None
+        if self.drain_policy is not None:
+            self.drain_policy.notify_drain(stats)
+        return decisions
 
     def run(
-        self, streams: Mapping[int, Iterable[np.ndarray]], drain_every: int = 0
+        self,
+        streams: Mapping[int, Iterable[np.ndarray]],
+        drain_every: int = 0,
+        policy: DrainPolicy | None = None,
     ) -> List[WindowDecision]:
-        """Convenience driver: interleave the patients' chunk streams.
-
-        Chunks are consumed round-robin across patients (the arrival order a
-        server would see), the streams are flushed, and pending windows are
-        classified in batched drains — every ``drain_every`` pushed chunks
-        when positive, otherwise in a single final drain.
-        """
-        iterators = {int(pid): iter(chunks) for pid, chunks in streams.items()}
-        for pid in iterators:
-            if pid not in self._monitors:
-                self.add_patient(pid)
-        decisions: List[WindowDecision] = []
-        n_pushed = 0
-        while iterators:
-            for pid in list(iterators):
-                try:
-                    chunk = next(iterators[pid])
-                except StopIteration:
-                    del iterators[pid]
-                    continue
-                self.push(pid, chunk)
-                n_pushed += 1
-                if drain_every > 0 and n_pushed % drain_every == 0:
-                    decisions.extend(self.drain())
-        self.finish()
-        decisions.extend(self.drain())
-        decisions.sort(key=lambda d: (d.start_s, d.patient_id))
-        return decisions
+        """Convenience driver over :func:`run_streams` (see its docstring)."""
+        return run_streams(self, streams, drain_every=drain_every, policy=policy)

@@ -1,0 +1,539 @@
+"""Horizontally sharded monitor fleets with consistent patient routing.
+
+One :class:`~repro.serving.fleet.MonitorFleet` is one worker's worth of
+patients.  :class:`ShardedFleet` scales the same interface across N such
+shards: every chunk is routed by a :class:`HashRing` (consistent hashing of
+the patient id, stable across runs and processes, minimal reassignment when
+the shard count changes), each shard streams and featurises its own patients
+independently, and drains merge the per-shard batched classifications into
+one canonically ordered decision list.
+
+The headline guarantee — enforced by the parity fuzz suite in
+``tests/test_serving_sharding.py`` — is that sharding is *invisible* in the
+output: for any shard count, backend and drain policy, a sharded fleet
+produces decision-for-decision identical output to a single unsharded
+:class:`~repro.serving.fleet.MonitorFleet` over the same streams.  This
+holds because each patient's DSP state lives on exactly one shard and the
+batched classifiers are batch-composition invariant (bit-exactly so on the
+integer fixed-point path).
+
+Three executor backends:
+
+* ``"serial"`` — shards are plain in-process objects, calls run inline.
+  Zero overhead; also the fastest drain on a single core, because shard-
+  sized classification batches are kinder to the cache than one monolithic
+  batch (see ``benchmarks/test_bench_serving.py``).
+* ``"thread"`` — drains / flushes / stat polls fan out over a thread pool;
+  the NumPy kernels release the GIL, so shards classify concurrently on
+  multi-core hosts.
+* ``"process"`` — one dedicated worker process per shard, each hosting its
+  own :class:`~repro.serving.fleet.MonitorFleet`; chunks, stats and
+  decisions travel over pipes.  This is the multi-host deployment shape in
+  miniature (the pipe protocol is the same role a socket would play, and
+  ECG payloads are shipped in the :mod:`repro.serving.wire` frame format by
+  :meth:`ShardedFleet.push_wire` upstream of it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.dsp.peaks import PanTompkinsParams
+from repro.serving.fleet import MonitorFleet, decision_sort_key, run_streams
+from repro.serving.scheduler import DrainPolicy, DrainStats, merge_stats
+from repro.serving.streaming import PendingWindow, WindowDecision
+from repro.serving.wire import decode_chunk_checked
+from repro.signals.windows import WindowingParams
+
+__all__ = ["HashRing", "ShardedFleet", "ShardDrainError"]
+
+
+class ShardDrainError(RuntimeError):
+    """One or more shards failed while draining.
+
+    The windows of every *failed* shard remain queued there (a fleet drain is
+    retryable), and the decisions the healthy shards already produced are not
+    thrown away — they are carried on :attr:`decisions`, canonically sorted.
+    :attr:`errors` maps shard index to the exception it raised.
+    """
+
+    def __init__(self, errors, decisions) -> None:
+        super().__init__(
+            "drain failed on shard(s) %s: %s"
+            % (sorted(errors), "; ".join(repr(errors[s]) for s in sorted(errors)))
+        )
+        self.errors = dict(errors)
+        self.decisions = list(decisions)
+
+
+class HashRing:
+    """Consistent hashing of patient ids onto shard indices.
+
+    Each shard owns ``replicas`` pseudo-random points on a 64-bit ring
+    (BLAKE2b of ``"shard:<index>:<replica>"`` — deterministic, unlike
+    Python's salted ``hash``); a patient id maps to the shard owning the
+    first ring point at or after the hash of the id.  With R replicas per
+    shard the load spread is ~``1/sqrt(R)`` and growing the fleet from N to
+    N+1 shards reassigns only ~``1/(N+1)`` of the patients — the property
+    that makes live resharding of long-running monitors tractable.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.n_shards = int(n_shards)
+        self.replicas = int(replicas)
+        points = np.empty(self.n_shards * self.replicas, dtype=np.uint64)
+        owners = np.empty(points.shape[0], dtype=np.int64)
+        for shard in range(self.n_shards):
+            for replica in range(self.replicas):
+                points[shard * self.replicas + replica] = self._point(
+                    "shard:%d:%d" % (shard, replica)
+                )
+                owners[shard * self.replicas + replica] = shard
+        order = np.argsort(points, kind="stable")
+        self._points = points[order]
+        self._owners = owners[order]
+
+    @staticmethod
+    def _point(key: str) -> int:
+        return int.from_bytes(hashlib.blake2b(key.encode(), digest_size=8).digest(), "big")
+
+    def shard_of(self, patient_id: int) -> int:
+        """Shard index owning ``patient_id`` (stable across runs/processes)."""
+        point = self._point("patient:%d" % int(patient_id))
+        idx = int(np.searchsorted(self._points, np.uint64(point), side="left"))
+        return int(self._owners[idx % self._owners.shape[0]])
+
+
+# ---------------------------------------------------------------------------
+# Shard executor backends
+# ---------------------------------------------------------------------------
+
+
+def _invoke(fleet: MonitorFleet, method: str, *args, **kwargs):
+    """Call a fleet method, or read a fleet property when ``method`` names one."""
+    attr = getattr(fleet, method)
+    if callable(attr):
+        return attr(*args, **kwargs)
+    return attr
+
+
+class _SerialBackend:
+    """Shards as plain in-process fleets; every call runs inline."""
+
+    def __init__(self, shards: Sequence[MonitorFleet]) -> None:
+        self.shards = list(shards)
+
+    def call(self, shard: int, method: str, *args, **kwargs):
+        return _invoke(self.shards[shard], method, *args, **kwargs)
+
+    def call_all(self, method: str, *args, **kwargs) -> list:
+        return [_invoke(shard, method, *args, **kwargs) for shard in self.shards]
+
+    def call_all_settled(self, method: str, *args, **kwargs) -> list:
+        """Like :meth:`call_all`, but collects ``(ok, value_or_exc)`` pairs
+        instead of aborting on the first shard failure."""
+        settled = []
+        for shard in self.shards:
+            try:
+                settled.append((True, _invoke(shard, method, *args, **kwargs)))
+            except Exception as exc:
+                settled.append((False, exc))
+        return settled
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadBackend(_SerialBackend):
+    """Fan ``call_all`` out over a thread pool (NumPy releases the GIL)."""
+
+    def __init__(self, shards: Sequence[MonitorFleet]) -> None:
+        super().__init__(shards)
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.shards), thread_name_prefix="shard"
+        )
+
+    def call_all(self, method: str, *args, **kwargs) -> list:
+        return [future.result() for future in self._submit_all(method, *args, **kwargs)]
+
+    def call_all_settled(self, method: str, *args, **kwargs) -> list:
+        settled = []
+        for future in self._submit_all(method, *args, **kwargs):
+            try:
+                settled.append((True, future.result()))
+            except Exception as exc:
+                settled.append((False, exc))
+        return settled
+
+    def _submit_all(self, method: str, *args, **kwargs) -> list:
+        return [
+            self._pool.submit(_invoke, shard, method, *args, **kwargs)
+            for shard in self.shards
+        ]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _shard_worker(conn, classifier, fs, windowing, detector_params, auto_register):
+    """Worker-process loop: host one shard fleet, serve pipe requests."""
+    fleet = MonitorFleet(
+        classifier,
+        fs,
+        windowing=windowing,
+        detector_params=detector_params,
+        auto_register=auto_register,
+    )
+    while True:
+        request = conn.recv()
+        if request is None:
+            conn.close()
+            return
+        method, args, kwargs = request
+        try:
+            conn.send(("ok", _invoke(fleet, method, *args, **kwargs)))
+        except BaseException as exc:  # propagated to, and re-raised in, the parent
+            conn.send(("err", exc))
+
+
+class _ProcessBackend:
+    """One dedicated worker process per shard, request/response over pipes."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        classifier,
+        fs: float,
+        windowing,
+        detector_params,
+        auto_register: bool,
+    ) -> None:
+        ctx = mp.get_context()
+        self._conns = []
+        self._procs = []
+        for _ in range(n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, classifier, fs, windowing, detector_params, auto_register),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def call(self, shard: int, method: str, *args, **kwargs):
+        conn = self._conns[shard]
+        conn.send((method, args, kwargs))
+        status, value = conn.recv()
+        if status == "err":
+            raise value
+        return value
+
+    def call_all(self, method: str, *args, **kwargs) -> list:
+        settled = self.call_all_settled(method, *args, **kwargs)
+        for ok, value in settled:
+            if not ok:
+                raise value
+        return [value for _, value in settled]
+
+    def call_all_settled(self, method: str, *args, **kwargs) -> list:
+        for conn in self._conns:
+            conn.send((method, args, kwargs))
+        return [
+            (status == "ok", value)
+            for status, value in (conn.recv() for conn in self._conns)
+        ]
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+class ShardedFleet:
+    """N consistent-hash-routed :class:`~repro.serving.fleet.MonitorFleet` shards.
+
+    The interface deliberately mirrors :class:`~repro.serving.fleet.MonitorFleet`
+    (``push`` / ``push_wire`` / ``finish`` / ``drain`` / ``maybe_drain`` /
+    ``run``), so a single-fleet deployment scales out by swapping the class.
+
+    Parameters
+    ----------
+    classifier, fs, windowing, detector_params:
+        As for :class:`~repro.serving.fleet.MonitorFleet`; shared by every
+        shard.
+    n_shards:
+        Number of shards.  One shard is a valid (if pointless) fleet and is
+        used by the parity tests as the degenerate case.
+    drain_policy:
+        Fleet-level :class:`~repro.serving.scheduler.DrainPolicy`, evaluated
+        against the merged shard stats; a trigger drains *all* shards.
+    backend:
+        ``"serial"`` (default), ``"thread"`` or ``"process"`` — see the
+        module docstring.  Drain-policy scheduling is driven by *local*
+        queue counters the fleet maintains from the shards' return values
+        (exact, and free of cross-shard round-trips on every chunk), so it
+        behaves identically on all three backends; only the authoritative
+        :meth:`stats` / :attr:`pending_count` sweep the shards.
+    auto_register:
+        Unknown-patient contract, forwarded to every shard (see
+        :class:`~repro.serving.fleet.MonitorFleet`).
+    clock:
+        Monotonic time source for the in-process backends' latency stats.
+    replicas:
+        Ring points per shard for the :class:`HashRing`.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        fs: float,
+        n_shards: int = 4,
+        windowing: WindowingParams | None = None,
+        detector_params: PanTompkinsParams | None = None,
+        drain_policy: DrainPolicy | None = None,
+        backend: str = "serial",
+        auto_register: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+        replicas: int = 64,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError("unknown backend %r (choose from %s)" % (backend, _BACKENDS))
+        self.classifier = classifier
+        self.fs = float(fs)
+        self.n_shards = int(n_shards)
+        self.backend_name = backend
+        self.drain_policy = drain_policy
+        self.auto_register = bool(auto_register)
+        self.ring = HashRing(self.n_shards, replicas=replicas)
+        if backend == "process":
+            self._backend = _ProcessBackend(
+                self.n_shards, classifier, self.fs, windowing, detector_params,
+                self.auto_register,
+            )
+        else:
+            shards = [
+                MonitorFleet(
+                    classifier,
+                    self.fs,
+                    windowing=windowing,
+                    detector_params=detector_params,
+                    auto_register=self.auto_register,
+                    clock=clock,
+                )
+                for _ in range(self.n_shards)
+            ]
+            backend_cls = _ThreadBackend if backend == "thread" else _SerialBackend
+            self._backend = backend_cls(shards)
+        self._shard_of: Dict[int, int] = {}
+        self._clock = clock
+        # Local queue bookkeeping, kept exact from the shards' return values:
+        # windows only enter or leave a shard's queue through calls routed
+        # here, so drain-policy decisions never need a cross-shard sweep.
+        self._pending_by_shard: Dict[int, int] = {}
+        self._chunks_since_drain = 0
+        self._oldest_pending_t: Optional[float] = None
+        self._known_patients: set = set()
+
+    # ------------------------------------------------------------ membership
+    def shard_of(self, patient_id: int) -> int:
+        """Shard index the ring assigns to ``patient_id`` (cached)."""
+        patient_id = int(patient_id)
+        shard = self._shard_of.get(patient_id)
+        if shard is None:
+            shard = self.ring.shard_of(patient_id)
+            self._shard_of[patient_id] = shard
+        return shard
+
+    def add_patient(self, patient_id: int) -> int:
+        """Register a patient on their shard; returns the shard index."""
+        shard = self.shard_of(patient_id)
+        self._backend.call(shard, "add_patient", int(patient_id))
+        self._known_patients.add(int(patient_id))
+        return shard
+
+    def has_patient(self, patient_id: int) -> bool:
+        return self._backend.call(self.shard_of(patient_id), "has_patient", int(patient_id))
+
+    @property
+    def patient_ids(self) -> List[int]:
+        return sorted(pid for ids in self._backend.call_all("patient_ids") for pid in ids)
+
+    @property
+    def n_patients(self) -> int:
+        return len(self.patient_ids)
+
+    @property
+    def pending_count(self) -> int:
+        return self.stats().pending_windows
+
+    # -------------------------------------------------------------- streaming
+    def push(self, patient_id: int, chunk: np.ndarray, seq: int | None = None) -> int:
+        """Route one chunk to its patient's shard.
+
+        Returns the pending-window count *of that shard* (the fleet-wide
+        count is :attr:`pending_count`).  Unknown patients follow the
+        ``auto_register`` contract; ``seq`` is enforced by the patient's
+        monitor exactly as on a single fleet.
+        """
+        patient_id = int(patient_id)
+        shard = self.shard_of(patient_id)
+        pending = self._backend.call(shard, "push", patient_id, chunk, seq)
+        self._known_patients.add(patient_id)
+        self._chunks_since_drain += 1
+        self._note_pending(shard, pending)
+        return pending
+
+    def push_wire(self, frame: bytes) -> int:
+        """Decode one wire frame and route it (fs-checked, sequence-enforced)."""
+        chunk = decode_chunk_checked(frame, self.fs)
+        return self.push(chunk.patient_id, chunk.samples, seq=chunk.seq)
+
+    def enqueue(self, windows: Iterable[PendingWindow]) -> int:
+        """Queue externally featurised windows on their patients' shards."""
+        by_shard: Dict[int, List[PendingWindow]] = {}
+        for window in windows:
+            by_shard.setdefault(self.shard_of(window.patient_id), []).append(window)
+        for shard, group in by_shard.items():
+            self._note_pending(shard, self._backend.call(shard, "enqueue", group))
+        return sum(self._pending_by_shard.values())
+
+    def finish(self, patient_id: int | None = None) -> int:
+        """Flush one patient's stream (or every shard's streams)."""
+        if patient_id is not None:
+            shard = self.shard_of(patient_id)
+            pending = self._backend.call(shard, "finish", int(patient_id))
+            self._note_pending(shard, pending)
+            return pending
+        for shard, pending in enumerate(self._backend.call_all("finish")):
+            self._note_pending(shard, pending)
+        return sum(self._pending_by_shard.values())
+
+    def _note_pending(self, shard: int, pending: int) -> None:
+        """Record a shard's reported queue depth; keep the oldest-window clock."""
+        self._pending_by_shard[shard] = int(pending)
+        if sum(self._pending_by_shard.values()) > 0:
+            if self._oldest_pending_t is None:
+                self._oldest_pending_t = self._clock()
+        else:
+            self._oldest_pending_t = None
+
+    # -------------------------------------------------------------- draining
+    def stats(self) -> DrainStats:
+        """Authoritative merged stats, swept from every shard.
+
+        Scheduling decisions use :meth:`local_stats` instead (exact and
+        sweep-free); this sweep is for observability and tests.
+        """
+        return merge_stats(self._backend.call_all("stats"))
+
+    def local_stats(self) -> DrainStats:
+        """Queue snapshot from the fleet's own counters — no shard calls.
+
+        Exact by construction: windows only enter or leave shard queues
+        through this object, which records every reported queue depth.
+        """
+        if self._oldest_pending_t is not None:
+            oldest_age = max(0.0, self._clock() - self._oldest_pending_t)
+        else:
+            oldest_age = 0.0
+        return DrainStats(
+            pending_windows=sum(self._pending_by_shard.values()),
+            chunks_since_drain=self._chunks_since_drain,
+            oldest_pending_age_s=oldest_age,
+            n_patients=len(self._known_patients),
+        )
+
+    def should_drain(self) -> bool:
+        return self.drain_policy is not None and self.drain_policy.should_drain(
+            self.local_stats()
+        )
+
+    def maybe_drain(self) -> List[WindowDecision]:
+        """Drain if the policy triggers on the local counters; else ``[]``."""
+        if self.drain_policy is None:
+            return []
+        stats = self.local_stats()
+        if not self.drain_policy.should_drain(stats):
+            return []
+        return self._drain(stats)
+
+    def drain(self) -> List[WindowDecision]:
+        """Drain every shard (one batched SVM call each); merge canonically.
+
+        Decisions are returned in :func:`~repro.serving.fleet.decision_sort_key`
+        order, independent of the shard layout.  If a shard fails, its
+        windows stay queued there (each shard's drain is atomic — see
+        :meth:`MonitorFleet.drain <repro.serving.fleet.MonitorFleet.drain>`)
+        and a :class:`ShardDrainError` carrying the healthy shards' decisions
+        is raised, so nothing is ever silently lost.
+        """
+        return self._drain(self.local_stats())
+
+    def _drain(self, stats: DrainStats) -> List[WindowDecision]:
+        settled = self._backend.call_all_settled("drain")
+        decisions = [d for ok, group in settled if ok for d in group]
+        errors = {shard: value for shard, (ok, value) in enumerate(settled) if not ok}
+        for shard, (ok, _) in enumerate(settled):
+            if ok:
+                self._pending_by_shard[shard] = 0
+        if sum(self._pending_by_shard.values()) == 0:
+            self._oldest_pending_t = None
+        decisions.sort(key=decision_sort_key)
+        if errors:
+            # Keep the chunk counter: a chunk-count policy must re-trigger on
+            # the very next poll so the failed shard's windows are retried,
+            # exactly as a single fleet retries after a failed drain.
+            raise ShardDrainError(errors, decisions)
+        self._chunks_since_drain = 0
+        if self.drain_policy is not None:
+            self.drain_policy.notify_drain(stats)
+        return decisions
+
+    def run(
+        self,
+        streams: Mapping[int, Iterable[np.ndarray]],
+        drain_every: int = 0,
+        policy: DrainPolicy | None = None,
+    ) -> List[WindowDecision]:
+        """Round-robin driver — :func:`~repro.serving.fleet.run_streams`.
+
+        Sharing the driver with :meth:`MonitorFleet.run` guarantees the same
+        arrival order, drain scheduling and canonical output order, which is
+        exactly what makes the output comparable decision-for-decision with
+        a single fleet's.
+        """
+        return run_streams(self, streams, drain_every=drain_every, policy=policy)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut the executor backend down (worker processes, thread pool)."""
+        self._backend.close()
+
+    def __enter__(self) -> "ShardedFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

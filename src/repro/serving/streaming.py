@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.dsp.peaks import PanTompkinsParams, StreamingPeakDetector
 from repro.features.extractor import FeatureExtractor
+from repro.serving.wire import SequenceTracker
 from repro.signals.windows import StreamingWindower, WindowingParams
 
 __all__ = ["PendingWindow", "WindowDecision", "StreamingMonitor", "classify_windows"]
@@ -135,6 +136,7 @@ class StreamingMonitor:
         self._detector = StreamingPeakDetector(self.fs, detector_params)
         self._windower = StreamingWindower(windowing)
         self._extractor = FeatureExtractor()
+        self._sequence = SequenceTracker()
         self._n_windows = 0
         self._n_usable = 0
 
@@ -152,8 +154,24 @@ class StreamingMonitor:
     def n_usable_windows(self) -> int:
         return self._n_usable
 
-    def push(self, chunk: np.ndarray) -> List[PendingWindow]:
-        """Consume one chunk of raw ECG; return newly completed windows."""
+    @property
+    def last_seq(self) -> Optional[int]:
+        """Sequence number of the last chunk accepted with an explicit ``seq``."""
+        return self._sequence.last_seq
+
+    def push(self, chunk: np.ndarray, seq: int | None = None) -> List[PendingWindow]:
+        """Consume one chunk of raw ECG; return newly completed windows.
+
+        When ``seq`` is given (a per-patient chunk sequence number, starting
+        at 0 — see :mod:`repro.serving.wire`), delivery order is enforced
+        *before* any sample touches the DSP state: a repeated sequence number
+        raises :class:`~repro.serving.wire.DuplicateChunkError` and a skipped
+        or reordered one raises
+        :class:`~repro.serving.wire.OutOfOrderChunkError`, leaving the
+        monitor's carry-over state untouched.
+        """
+        if seq is not None:
+            self._sequence.validate(seq)
         indices, times, amplitudes = self._detector.process(chunk)
         completed = self._windower.push(times, amplitudes)
         completed += self._windower.advance(self._detector.finalized_time_s)

@@ -1,0 +1,311 @@
+"""Versioned binary wire format for ECG chunks.
+
+A body sensor node ships its raw ECG to the serving backend in framed,
+self-describing chunks.  The frame is a fixed 32-byte little-endian header
+followed by the raw sample payload:
+
+======  ====  ==========  ====================================================
+offset  size  type        field
+======  ====  ==========  ====================================================
+0       4     ``4s``      magic ``b"ECGC"``
+4       1     ``u8``      format version (currently :data:`WIRE_VERSION` = 1)
+5       1     ``u8``      payload dtype code (see :data:`DTYPE_CODES`)
+6       2     ``u16``     reserved, must be zero
+8       4     ``u32``     patient id
+12      4     ``u32``     chunk sequence number (per patient, starts at 0)
+16      4     ``u32``     sample count
+20      8     ``f64``     sampling frequency (Hz)
+28      4     ``u32``     CRC-32 of the whole frame (header with this field
+                          zeroed, then payload)
+32      --    payload     ``sample count`` samples of the declared dtype,
+                          little endian
+======  ====  ==========  ====================================================
+
+The CRC covers the *header as well as* the payload: a flipped bit in
+``patient_id`` would otherwise route perfectly valid samples to the wrong
+patient's DSP state, which is corruption just as surely as a damaged sample.
+
+:func:`encode_chunk` / :func:`decode_chunk` convert between frames and
+:class:`EcgChunk` objects; :func:`iter_chunks` splits a concatenated byte
+stream (a pipe, a file, a socket buffer) back into chunks.  Decoding is
+strict: bad magic, unknown version or dtype, non-zero reserved bits, a
+truncated payload, trailing garbage or a CRC mismatch all raise
+:class:`WireFormatError` — a corrupted frame is never silently turned into
+samples.
+
+Delivery-order policing is separate from framing: a :class:`SequenceTracker`
+validates per-patient sequence numbers and raises
+:class:`DuplicateChunkError` for already-seen chunks and
+:class:`OutOfOrderChunkError` for gaps or reordering, so a monitor's
+carry-over DSP state can never be corrupted by a misdelivered chunk
+(:meth:`repro.serving.streaming.StreamingMonitor.push` applies one tracker
+per stream when sequence numbers are provided).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+import numpy as np
+
+__all__ = [
+    "WIRE_VERSION",
+    "WIRE_MAGIC",
+    "HEADER",
+    "DTYPE_CODES",
+    "WireFormatError",
+    "SequenceError",
+    "DuplicateChunkError",
+    "OutOfOrderChunkError",
+    "EcgChunk",
+    "encode_chunk",
+    "decode_chunk",
+    "decode_chunk_checked",
+    "iter_chunks",
+    "SequenceTracker",
+]
+
+#: Current wire-format version; bumped on any incompatible layout change.
+WIRE_VERSION = 1
+
+#: Frame magic, first four bytes of every chunk.
+WIRE_MAGIC = b"ECGC"
+
+#: Little-endian header layout (see the module docstring for the field table).
+HEADER = struct.Struct("<4sBBHIIIdI")
+
+#: Supported payload dtypes.  Frames always carry little-endian samples; the
+#: integer formats are for nodes that transmit raw ADC codes.
+DTYPE_CODES: Dict[int, np.dtype] = {
+    0: np.dtype("<f8"),
+    1: np.dtype("<f4"),
+    2: np.dtype("<i2"),
+    3: np.dtype("<i4"),
+}
+_CODE_OF_DTYPE = {dtype: code for code, dtype in DTYPE_CODES.items()}
+
+
+class WireFormatError(ValueError):
+    """A frame could not be decoded (corruption, truncation, bad version)."""
+
+
+class SequenceError(ValueError):
+    """A chunk arrived with an unacceptable sequence number."""
+
+    def __init__(self, message: str, *, seq: int, expected: int) -> None:
+        super().__init__(message)
+        self.seq = int(seq)
+        self.expected = int(expected)
+
+    def __reduce__(self):
+        # Keyword-only constructor args defeat the default exception pickling
+        # (needed when a shard worker process reports a sequence violation).
+        return (
+            _rebuild_sequence_error,
+            (type(self), self.args[0], self.seq, self.expected),
+        )
+
+
+def _rebuild_sequence_error(cls, message, seq, expected):
+    return cls(message, seq=seq, expected=expected)
+
+
+class DuplicateChunkError(SequenceError):
+    """The chunk's sequence number was already consumed."""
+
+
+class OutOfOrderChunkError(SequenceError):
+    """The chunk skips ahead of the next expected sequence number."""
+
+
+@dataclass(frozen=True)
+class EcgChunk:
+    """One decoded ECG chunk: routing metadata plus the raw samples."""
+
+    patient_id: int
+    seq: int
+    fs: float
+    samples: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.samples.shape[0])
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_samples / self.fs
+
+
+def encode_chunk(
+    patient_id: int,
+    seq: int,
+    fs: float,
+    samples: np.ndarray,
+    dtype: np.dtype | str | None = None,
+) -> bytes:
+    """Frame one ECG chunk for the wire.
+
+    Parameters
+    ----------
+    patient_id, seq:
+        Routing metadata; both must fit an unsigned 32-bit field.  Sequence
+        numbers are per patient and start at 0.
+    fs:
+        Sampling frequency of the payload (Hz).
+    samples:
+        1-D array of raw ECG samples.  Empty chunks are legal (a node may
+        frame a pure keep-alive).
+    dtype:
+        Payload dtype; defaults to the dtype of ``samples`` when that is one
+        of :data:`DTYPE_CODES`, else ``float64``.  Casting to an integer
+        payload dtype is the caller's responsibility to scale sensibly.
+    """
+    patient_id = int(patient_id)
+    seq = int(seq)
+    if not 0 <= patient_id < 2**32:
+        raise ValueError("patient_id %d does not fit the u32 header field" % patient_id)
+    if not 0 <= seq < 2**32:
+        raise ValueError("seq %d does not fit the u32 header field" % seq)
+    fs = float(fs)
+    if not (fs > 0.0 and np.isfinite(fs)):
+        raise ValueError("fs must be positive and finite")
+    samples = np.asarray(samples).ravel()
+    if dtype is None:
+        wire_dtype = samples.dtype.newbyteorder("<")
+        if wire_dtype not in _CODE_OF_DTYPE:
+            wire_dtype = np.dtype("<f8")
+    else:
+        wire_dtype = np.dtype(dtype).newbyteorder("<")
+        if wire_dtype not in _CODE_OF_DTYPE:
+            raise ValueError("unsupported wire dtype %r" % (dtype,))
+    payload = np.ascontiguousarray(samples, dtype=wire_dtype).tobytes()
+    bare_header = HEADER.pack(
+        WIRE_MAGIC,
+        WIRE_VERSION,
+        _CODE_OF_DTYPE[wire_dtype],
+        0,
+        patient_id,
+        seq,
+        samples.size,
+        fs,
+        0,
+    )
+    crc = zlib.crc32(payload, zlib.crc32(bare_header))
+    return bare_header[:-4] + struct.pack("<I", crc) + payload
+
+
+def _decode_at(buf: bytes, offset: int) -> tuple[EcgChunk, int]:
+    """Decode the frame starting at ``offset``; return (chunk, next offset)."""
+    if len(buf) - offset < HEADER.size:
+        raise WireFormatError(
+            "truncated header: %d bytes, need %d" % (len(buf) - offset, HEADER.size)
+        )
+    magic, version, dtype_code, reserved, patient_id, seq, n_samples, fs, crc = (
+        HEADER.unpack_from(buf, offset)
+    )
+    if magic != WIRE_MAGIC:
+        raise WireFormatError("bad magic %r (expected %r)" % (magic, WIRE_MAGIC))
+    if version != WIRE_VERSION:
+        raise WireFormatError("unsupported wire version %d" % version)
+    if reserved != 0:
+        raise WireFormatError("reserved header bits set (%#06x)" % reserved)
+    if dtype_code not in DTYPE_CODES:
+        raise WireFormatError("unknown payload dtype code %d" % dtype_code)
+    if not fs > 0.0 or not np.isfinite(fs):
+        raise WireFormatError("invalid sampling frequency %r" % fs)
+    dtype = DTYPE_CODES[dtype_code]
+    start = offset + HEADER.size
+    end = start + n_samples * dtype.itemsize
+    if len(buf) < end:
+        raise WireFormatError(
+            "truncated payload: %d bytes, header declares %d samples (%d bytes)"
+            % (len(buf) - start, n_samples, n_samples * dtype.itemsize)
+        )
+    payload = bytes(buf[start:end])
+    bare_header = bytes(buf[offset : start - 4]) + b"\x00\x00\x00\x00"
+    if zlib.crc32(payload, zlib.crc32(bare_header)) != crc:
+        raise WireFormatError("frame CRC mismatch")
+    samples = np.frombuffer(payload, dtype=dtype)
+    return EcgChunk(patient_id=patient_id, seq=seq, fs=float(fs), samples=samples), end
+
+
+def decode_chunk(buf: bytes) -> EcgChunk:
+    """Decode exactly one frame; trailing bytes are an error.
+
+    Raises :class:`WireFormatError` on any corruption (see the module
+    docstring for the full rejection list).
+    """
+    chunk, end = _decode_at(buf, 0)
+    if end != len(buf):
+        raise WireFormatError("%d trailing bytes after the payload" % (len(buf) - end))
+    return chunk
+
+
+def decode_chunk_checked(buf: bytes, fs: float) -> EcgChunk:
+    """Decode one frame and require its sampling frequency to be ``fs``.
+
+    The shared ingestion path of the fleet classes: a frame whose payload was
+    sampled at a different rate than the fleet's monitors would silently
+    corrupt every DSP stage, so an fs mismatch is a :class:`WireFormatError`.
+    """
+    chunk = decode_chunk(buf)
+    if chunk.fs != float(fs):
+        raise WireFormatError(
+            "chunk fs %g Hz does not match the fleet's %g Hz" % (chunk.fs, fs)
+        )
+    return chunk
+
+
+def iter_chunks(buf: bytes) -> Iterator[EcgChunk]:
+    """Split a concatenation of frames back into :class:`EcgChunk` objects."""
+    offset = 0
+    while offset < len(buf):
+        chunk, offset = _decode_at(buf, offset)
+        yield chunk
+
+
+class SequenceTracker:
+    """Per-stream sequence-number policing: exactly-once, in-order delivery.
+
+    The tracker accepts only the next expected sequence number (starting at
+    ``first_seq``).  Anything below it is a duplicate / stale retransmission
+    (:class:`DuplicateChunkError`); anything above it is a gap or reordering
+    (:class:`OutOfOrderChunkError`).  Chunks carry DSP state across their
+    boundaries, so a skipped or repeated chunk would silently corrupt every
+    later window — rejecting at ingestion is the only safe behaviour.
+    """
+
+    def __init__(self, first_seq: int = 0) -> None:
+        self._first = int(first_seq)
+        self._expected = int(first_seq)
+
+    @property
+    def expected(self) -> int:
+        """The only sequence number :meth:`validate` will currently accept."""
+        return self._expected
+
+    @property
+    def last_seq(self) -> int | None:
+        """The last accepted sequence number (``None`` before the first)."""
+        return self._expected - 1 if self._expected > self._first else None
+
+    def validate(self, seq: int) -> int:
+        """Accept ``seq`` or raise; returns the accepted sequence number."""
+        seq = int(seq)
+        if seq < self._expected:
+            raise DuplicateChunkError(
+                "duplicate chunk seq %d (next expected %d)" % (seq, self._expected),
+                seq=seq,
+                expected=self._expected,
+            )
+        if seq > self._expected:
+            raise OutOfOrderChunkError(
+                "out-of-order chunk seq %d (next expected %d)" % (seq, self._expected),
+                seq=seq,
+                expected=self._expected,
+            )
+        self._expected += 1
+        return seq

@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
+from functools import lru_cache
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -10,6 +12,10 @@ from repro.dsp.ar import ar_burg
 from repro.dsp.psd import welch_psd
 from repro.quant.fixed_point import int_bounds, quantize_to_int, scale_for_exponent, truncate_lsbs
 from repro.quant.ranges import feature_range_exponents, global_range_exponent
+from repro.serving import StreamingMonitor
+from repro.signals.dataset import CohortParams, generate_cohort
+from repro.signals.ecg_model import synthesize_ecg
+from repro.signals.windows import WindowingParams
 from repro.svm.kernels import GaussianKernel, LinearKernel, PolynomialKernel
 from repro.svm.scaling import PowerOfTwoScaler, StandardScaler
 from repro.svm.smo import SMOParams, smo_solve
@@ -198,3 +204,89 @@ def test_welch_psd_non_negative(seed, n):
     assert freqs[0] == 0.0
     # The last bin sits at (or just below, for odd segment lengths) Nyquist.
     assert 1.8 <= freqs[-1] <= 2.0 + 1e-9
+
+
+# --------------------------------------------------------------------------
+# Streaming-monitor chunk-size invariance
+# --------------------------------------------------------------------------
+
+#: Windowing used by the invariance property: short windows so a ~15-minute
+#: trace yields several of them, with the beat floor low enough that every
+#: window is featurised.
+_INVARIANCE_WINDOWING = WindowingParams(window_s=60.0, step_s=60.0, min_beats=40)
+
+
+@lru_cache(maxsize=1)
+def _invariance_trace():
+    """One synthetic single-patient raw-ECG trace, rendered once per session."""
+    cohort = generate_cohort(
+        CohortParams(
+            n_patients=1,
+            n_sessions=1,
+            session_duration_s=900.0,
+            total_seizures=1,
+            seed=33,
+        )
+    )
+    recording = cohort.recordings[0]
+    ecg = synthesize_ecg(
+        recording.beat_times_s,
+        recording.duration_s,
+        recording.respiration,
+        np.random.default_rng(33),
+    )
+    return ecg.ecg_mv, ecg.fs
+
+
+def _stream_in_chunks(trace, fs, chunk_sizes):
+    """Run the full monitor path over ``trace`` cut at the given sizes."""
+    monitor = StreamingMonitor(0, fs, windowing=_INVARIANCE_WINDOWING)
+    pending = []
+    lo = 0
+    for size in chunk_sizes:
+        pending.extend(monitor.push(trace[lo : lo + size]))
+        lo += size
+        if lo >= trace.size:
+            break
+    while lo < trace.size:
+        pending.extend(monitor.push(trace[lo : lo + 16384]))
+        lo += 16384
+    pending.extend(monitor.finish())
+    return pending
+
+
+@lru_cache(maxsize=1)
+def _invariance_reference():
+    """The one-shot (single-chunk) run every hypothesis example compares to."""
+    trace, fs = _invariance_trace()
+    return _stream_in_chunks(trace, fs, [trace.size])
+
+
+@given(sizes=st.lists(st.integers(0, 20000), min_size=1, max_size=40))
+@settings(max_examples=10, deadline=None)
+def test_streaming_monitor_chunk_size_invariance(sizes):
+    """For ANY partition of a trace into chunks, the emitted PendingWindows —
+    boundaries, beat counts and full 53-entry feature vectors — are identical.
+
+    This is the end-to-end extension of the per-stage invariance tests (the
+    streaming peak detector's and windower's): it pins down that no carry-over
+    state anywhere in the detector → windower → extractor chain depends on
+    where the transport happened to cut the signal.
+    """
+    trace, fs = _invariance_trace()
+    reference = _invariance_reference()
+    assert len(reference) >= 10
+    assert all(window.usable for window in reference)
+
+    chunked = _stream_in_chunks(trace, fs, sizes)
+    assert len(chunked) == len(reference)
+    for expected, got in zip(reference, chunked):
+        assert got.patient_id == expected.patient_id
+        assert got.start_s == expected.start_s
+        assert got.end_s == expected.end_s
+        assert got.n_beats == expected.n_beats
+        assert got.usable == expected.usable
+        if expected.features is None:
+            assert got.features is None
+        else:
+            assert np.array_equal(got.features, expected.features)

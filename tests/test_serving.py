@@ -12,7 +12,17 @@ import pytest
 from repro.features.catalog import N_FEATURES
 from repro.features.extractor import FeatureExtractor
 from repro.quant import QuantizationConfig, QuantizedSVM
-from repro.serving import MonitorFleet, PendingWindow, StreamingMonitor, classify_windows
+from repro.serving import (
+    AnyOf,
+    ChunkCountPolicy,
+    LatencyPolicy,
+    MonitorFleet,
+    PendingWindow,
+    PendingWindowPolicy,
+    StreamingMonitor,
+    classify_windows,
+)
+from repro.serving.scheduler import DrainStats, merge_stats
 from repro.signals.dataset import CohortParams, generate_cohort
 from repro.signals.ecg_model import synthesize_ecg
 from repro.signals.windows import StreamingWindower, WindowingParams
@@ -245,8 +255,135 @@ class TestMonitorFleetParity:
         with pytest.raises(KeyError):
             fleet.add_patient(3)
         assert fleet.patient_ids == [3]
+        assert fleet.has_patient(3) and not fleet.has_patient(4)
         assert fleet.pending_count == 0
         assert fleet.drain() == []
+
+
+class TestAutoRegisterContract:
+    """`push` on an unknown patient follows the documented contract: with
+    ``auto_register=True`` (default) the fleet creates the monitor on first
+    contact; with ``auto_register=False`` it raises a clear ``KeyError``."""
+
+    def test_default_push_auto_registers(self, quantized_detector):
+        fleet = MonitorFleet(quantized_detector, FS)
+        fleet.push(9, np.zeros(128))
+        assert fleet.patient_ids == [9]
+
+    def test_strict_fleet_rejects_unknown_patient(self, quantized_detector):
+        fleet = MonitorFleet(quantized_detector, FS, auto_register=False)
+        with pytest.raises(KeyError, match="auto_register=False"):
+            fleet.push(9, np.zeros(128))
+        assert fleet.patient_ids == []
+
+    def test_strict_fleet_accepts_registered_patient(self, quantized_detector):
+        fleet = MonitorFleet(quantized_detector, FS, auto_register=False)
+        fleet.add_patient(9)
+        fleet.push(9, np.zeros(128))
+        assert fleet.patient_ids == [9]
+
+    def test_sharded_fleet_forwards_the_contract(self, quantized_detector):
+        from repro.serving import ShardedFleet
+
+        strict = ShardedFleet(quantized_detector, FS, n_shards=2, auto_register=False)
+        with pytest.raises(KeyError, match="auto_register=False"):
+            strict.push(9, np.zeros(128))
+        lax = ShardedFleet(quantized_detector, FS, n_shards=2)
+        lax.push(9, np.zeros(128))
+        assert lax.patient_ids == [9]
+
+
+def _window(patient_id=0, start_s=0.0):
+    return PendingWindow(
+        patient_id=patient_id,
+        start_s=start_s,
+        end_s=start_s + 180.0,
+        n_beats=0,
+        features=None,
+    )
+
+
+class TestDrainPolicies:
+    """DrainPolicy scheduling against a fleet with an injected fake clock."""
+
+    def _fleet(self, quantized_detector, policy, now):
+        return MonitorFleet(
+            quantized_detector, FS, drain_policy=policy, clock=lambda: now[0]
+        )
+
+    def test_chunk_count_policy(self, quantized_detector):
+        fleet = self._fleet(quantized_detector, ChunkCountPolicy(3), [0.0])
+        for i in range(2):
+            fleet.push(0, np.zeros(64))
+            assert not fleet.should_drain()
+        fleet.push(0, np.zeros(64))
+        assert fleet.should_drain()
+        fleet.drain()
+        assert fleet.stats().chunks_since_drain == 0 and not fleet.should_drain()
+
+    def test_pending_window_policy(self, quantized_detector):
+        fleet = self._fleet(quantized_detector, PendingWindowPolicy(2), [0.0])
+        fleet.enqueue([_window(0)])
+        assert fleet.maybe_drain() == []
+        fleet.enqueue([_window(1)])
+        decisions = fleet.maybe_drain()
+        assert len(decisions) == 2
+        assert fleet.pending_count == 0
+
+    def test_latency_policy_uses_oldest_window_age(self, quantized_detector):
+        now = [100.0]
+        fleet = self._fleet(quantized_detector, LatencyPolicy(5.0), now)
+        assert not fleet.should_drain()  # empty queue never drains
+        fleet.enqueue([_window(0)])
+        now[0] = 104.9
+        assert not fleet.should_drain()
+        fleet.enqueue([_window(1)])  # newer window must not reset the age
+        now[0] = 105.0
+        assert fleet.stats().oldest_pending_age_s == pytest.approx(5.0)
+        assert len(fleet.maybe_drain()) == 2
+
+    def test_any_of_combinator(self, quantized_detector):
+        now = [0.0]
+        policy = AnyOf([PendingWindowPolicy(10), LatencyPolicy(2.0)])
+        fleet = self._fleet(quantized_detector, policy, now)
+        fleet.enqueue([_window(0)])
+        assert not fleet.should_drain()
+        now[0] = 2.0
+        assert fleet.should_drain()
+
+    def test_run_prefers_explicit_policy_and_restores_fleet_policy(
+        self, fleet_streams, quantized_detector
+    ):
+        fleet_policy = ChunkCountPolicy(1000)
+        fleet = MonitorFleet(quantized_detector, FS, drain_policy=fleet_policy)
+        decisions = fleet.run(fleet_streams, policy=PendingWindowPolicy(1))
+        assert fleet.drain_policy is fleet_policy
+        baseline = MonitorFleet(quantized_detector, FS).run(fleet_streams)
+        assert decisions == baseline
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ChunkCountPolicy(0)
+        with pytest.raises(ValueError):
+            PendingWindowPolicy(0)
+        with pytest.raises(ValueError):
+            LatencyPolicy(-1.0)
+        with pytest.raises(ValueError):
+            AnyOf([])
+
+    def test_merge_stats(self):
+        merged = merge_stats(
+            [
+                DrainStats(pending_windows=2, chunks_since_drain=5, oldest_pending_age_s=1.5, n_patients=3),
+                DrainStats(pending_windows=0, chunks_since_drain=1, oldest_pending_age_s=0.0, n_patients=2),
+            ]
+        )
+        assert merged == DrainStats(
+            pending_windows=2, chunks_since_drain=6, oldest_pending_age_s=1.5, n_patients=5
+        )
+        assert merge_stats([]) == DrainStats(
+            pending_windows=0, chunks_since_drain=0, oldest_pending_age_s=0.0, n_patients=0
+        )
 
 
 class TestBatchedModelParity:

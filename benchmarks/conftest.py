@@ -12,8 +12,6 @@ doubles as the reproduction report.  The cohort profile is selected with the
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.experiments.data import active_profile_name, get_experiment_data

@@ -9,10 +9,9 @@ a tight budget.
 
 import numpy as np
 
-from repro.core.design_point import DesignPoint, hardware_cost
 from repro.core.evaluation import leave_one_session_out
 from repro.svm.budget import BudgetParams, budget_training_set
-from repro.svm.model import SVMModel, train_svm
+from repro.svm.model import train_svm
 
 from benchmarks.conftest import run_once
 

@@ -1,5 +1,6 @@
-"""Benchmarks: batched fleet inference vs the naive per-window loop, and the
-sharded fleet drain vs the single monolithic fleet drain.
+"""Benchmarks: batched fleet inference vs the naive per-window loop, the
+sharded fleet drain vs the single monolithic fleet drain, and the TCP
+ingestion gateway vs the direct in-process ``push_wire`` loop.
 
 The serving engine's claim is that classifying the pending windows of a whole
 monitor fleet in one vectorised call is far cheaper than the one-window-at-a-
@@ -17,13 +18,22 @@ fast even on one core — and the shards classify concurrently on multi-core
 hosts.  Decisions must agree decision-for-decision with the single fleet.
 """
 
+import asyncio
 import gc
 import time
 
 import numpy as np
 
 from repro.quant import QuantizationConfig, QuantizedSVM
-from repro.serving import MonitorFleet, PendingWindow, ShardedFleet, classify_windows, decision_sort_key
+from repro.serving import (
+    IngestGateway,
+    MonitorFleet,
+    PendingWindow,
+    ShardedFleet,
+    classify_windows,
+    decision_sort_key,
+    encode_chunk,
+)
 from repro.svm.model import train_svm
 
 from benchmarks.conftest import run_once
@@ -40,6 +50,12 @@ SHARDED_PATIENTS = 128
 SHARDED_WINDOWS = 8192
 SHARDED_SHARDS = 8
 FS = 128.0
+
+#: Gateway workload: a fleet of nodes pushing ~8-second frames over TCP.
+GATEWAY_PATIENTS = 32
+GATEWAY_FRAMES_PER_PATIENT = 32
+GATEWAY_FRAME_SAMPLES = 1024
+GATEWAY_CONNECTIONS = 8
 
 
 def _measure(detector, X):
@@ -83,13 +99,19 @@ def test_bench_serving_batched_inference(benchmark, experiment_data):
 
     n = X.shape[0]
     print()
-    print("pending windows per drain : %d  (%d support vectors, 9/15 bits)"
-          % (n, model.n_support_vectors))
+    print(
+        "pending windows per drain : %d  (%d support vectors, 9/15 bits)"
+        % (n, model.n_support_vectors)
+    )
     print("naive per-window loop     : %8.0f windows/s" % (n / t_naive))
-    print("batched predict           : %8.0f windows/s  (%.1fx)"
-          % (n / t_batched, t_naive / t_batched))
-    print("fleet drain (scores+labels): %7.0f windows/s  (%.1fx)"
-          % (n / t_drain, t_naive / t_drain))
+    print(
+        "batched predict           : %8.0f windows/s  (%.1fx)"
+        % (n / t_batched, t_naive / t_batched)
+    )
+    print(
+        "fleet drain (scores+labels): %7.0f windows/s  (%.1fx)"
+        % (n / t_drain, t_naive / t_drain)
+    )
 
     # Correctness: the batched path is bit-identical to the per-window loop,
     # both through predict() and through the fleet drain.
@@ -197,3 +219,96 @@ def test_bench_sharded_fleet_drain(benchmark, experiment_data):
     # paths see the same machine conditions), best-of-N filters scheduling
     # hiccups, and GC is parked outside the timed regions.
     assert n / t_sharded >= n / t_single
+
+
+def _gateway_frames():
+    """Wire frames for the gateway workload, grouped per TCP connection.
+
+    A connection multiplexes a fixed subset of patients, preserving each
+    patient's frame order (the wire contract).
+    """
+    frames = []
+    conn_streams = [[] for _ in range(GATEWAY_CONNECTIONS)]
+    for seq in range(GATEWAY_FRAMES_PER_PATIENT):
+        for pid in range(GATEWAY_PATIENTS):
+            frame_bytes = encode_chunk(
+                pid, seq, FS, np.zeros(GATEWAY_FRAME_SAMPLES, dtype=np.float32)
+            )
+            frames.append(frame_bytes)
+            conn_streams[pid % GATEWAY_CONNECTIONS].append(frame_bytes)
+    return frames, [b"".join(stream) for stream in conn_streams]
+
+
+async def _run_gateway(detector, per_conn):
+    fleet = MonitorFleet(detector, FS)
+    gateway = IngestGateway(fleet, queue_depth=16, backpressure="block")
+    host, port = await gateway.serve()
+
+    async def node(blob):
+        _, writer = await asyncio.open_connection(host, port)
+        writer.write(blob)
+        await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*[node(blob) for blob in per_conn])
+    await gateway.stop()
+    elapsed = time.perf_counter() - t0
+    return elapsed, fleet, gateway.stats()
+
+
+def _measure_gateway(detector):
+    frames, per_conn = _gateway_frames()
+
+    # Baseline: the pull-driven loop of PR 2 — same frames, same fleet DSP,
+    # no socket, no queues, no event loop.
+    direct_fleet = MonitorFleet(detector, FS)
+    t0 = time.perf_counter()
+    for frame_bytes in frames:
+        direct_fleet.push_wire(frame_bytes)
+    direct_fleet.finish()
+    direct_fleet.drain()
+    t_direct = time.perf_counter() - t0
+
+    t_gateway, gateway_fleet, stats = asyncio.run(_run_gateway(detector, per_conn))
+    return len(frames), t_direct, direct_fleet, t_gateway, gateway_fleet, stats
+
+
+def test_bench_ingest_gateway_throughput(benchmark, experiment_data):
+    """TCP gateway frames/s vs the direct push_wire loop over identical frames.
+
+    The gateway adds framing reassembly, per-patient queues, an event loop
+    and real localhost sockets on top of the same DSP work; this records
+    what that front door costs, and checks the ledger and the DSP state are
+    identical to the pull-driven path.
+    """
+    features = experiment_data.features
+    model = train_svm(features.X, features.y)
+    detector = QuantizedSVM(model, QuantizationConfig(feature_bits=9, coeff_bits=15))
+
+    n, t_direct, direct_fleet, t_gateway, gateway_fleet, stats = run_once(
+        benchmark, _measure_gateway, detector
+    )
+
+    print()
+    print(
+        "gateway ingestion         : %d frames, %d patients, %d connections"
+        % (n, GATEWAY_PATIENTS, GATEWAY_CONNECTIONS)
+    )
+    print("direct push_wire loop     : %8.0f frames/s" % (n / t_direct))
+    print(
+        "TCP gateway (end to end)  : %8.0f frames/s  (%.2fx the direct loop)"
+        % (n / t_gateway, t_direct / t_gateway)
+    )
+
+    # The ledger balances and nothing was lost on the lossless policy.
+    assert stats.frames_received == stats.frames_delivered == n
+    assert stats.frames_shed == stats.frames_rejected == stats.frames_errored == 0
+    assert stats.fully_accounted
+    # Same DSP state as the pull-driven loop: every monitor saw every sample.
+    for pid in range(GATEWAY_PATIENTS):
+        assert (
+            gateway_fleet.monitor(pid).time_seen_s
+            == direct_fleet.monitor(pid).time_seen_s
+        )

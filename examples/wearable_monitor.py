@@ -13,8 +13,13 @@ Sensor Nodes would, on top of the :mod:`repro.serving` engine:
 3. frame every ~30-second ECG chunk in the versioned binary wire format
    (float32 payload, CRC-protected, per-patient sequence numbers — see
    :mod:`repro.serving.wire`),
-4. feed the frames to a 4-shard :class:`~repro.serving.sharding.ShardedFleet`
-   — consistent hashing routes each patient to a shard, each chunk runs
+4. *push* the frames the way real nodes do: every patient opens its own TCP
+   connection to an :class:`~repro.serving.ingest.IngestGateway` and writes
+   its frame stream over the socket.  The gateway reassembles frames across
+   read boundaries (:class:`~repro.serving.wire.StreamDecoder`), absorbs the
+   sixteen concurrent uplinks in per-patient bounded queues, and its pump
+   task feeds a 4-shard :class:`~repro.serving.sharding.ShardedFleet` —
+   consistent hashing routes each patient to a shard, each chunk runs
    incremental Pan–Tompkins R-peak detection and three-minute window
    assembly with carry-over state, and a latency/batch
    :class:`~repro.serving.scheduler.DrainPolicy` decides when the pending
@@ -25,6 +30,8 @@ Sensor Nodes would, on top of the :mod:`repro.serving` engine:
 Run with:  python examples/wearable_monitor.py
 """
 
+import asyncio
+
 import numpy as np
 
 from repro.core import hardware_cost
@@ -34,9 +41,9 @@ from repro.quant import QuantizationConfig, QuantizedSVM
 from repro.serving import (
     AnyOf,
     ChunkCountPolicy,
+    IngestGateway,
     PendingWindowPolicy,
     ShardedFleet,
-    decision_sort_key,
     encode_chunk,
 )
 from repro.signals.dataset import CohortParams, generate_cohort
@@ -52,6 +59,33 @@ CHUNK_SAMPLES = 3840
 #: Drain whenever 32 windows are pending, or every 64 received frames,
 #: whichever comes first.
 DRAIN_POLICY = AnyOf([PendingWindowPolicy(32), ChunkCountPolicy(64)])
+#: Per-patient gateway queue bound; "block" backpressure propagates to the
+#: nodes through TCP flow control, so no frame is ever lost.
+QUEUE_DEPTH = 8
+
+
+async def stream_through_gateway(fleet, frames):
+    """Push every node's frames through a real localhost TCP socket.
+
+    One connection per wireless node, all sixteen concurrent — the gateway
+    multiplexes them, applies per-patient backpressure and drives the
+    sharded fleet's drain policy.  Returns the canonically ordered decisions
+    and the gateway's frame ledger.
+    """
+    gateway = IngestGateway(fleet, queue_depth=QUEUE_DEPTH, backpressure="block")
+    host, port = await gateway.serve()
+
+    async def node(patient_id, node_frames):
+        _, writer = await asyncio.open_connection(host, port)
+        for frame in node_frames:
+            writer.write(frame)
+            await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+
+    await asyncio.gather(*[node(pid, f) for pid, f in sorted(frames.items())])
+    decisions = await gateway.stop()
+    return decisions, gateway.stats()
 
 
 def main() -> None:
@@ -126,7 +160,7 @@ def main() -> None:
         % (n_frames, n_bytes / 2**20, CHUNK_SAMPLES / fs)
     )
 
-    # -------------------------------------- sharded streaming + inference
+    # -------------------- TCP gateway -> sharded streaming + inference
     fleet = ShardedFleet(detector, fs, n_shards=N_SHARDS, drain_policy=DRAIN_POLICY)
     by_shard = {}
     for patient_id in sorted(monitored):
@@ -136,31 +170,23 @@ def main() -> None:
         print("  shard %d <- patients %s" % (shard, by_shard[shard]))
     print("Drain policy: %r" % DRAIN_POLICY)
 
-    # Feed the frames round-robin across patients — the arrival order a
-    # backend multiplexing sixteen uplinks would see — polling the drain
-    # policy after every frame.
-    decisions = []
-    n_drains = 0
-    iterators = {pid: iter(chunks) for pid, chunks in frames.items()}
-    while iterators:
-        for pid in list(iterators):
-            try:
-                frame = next(iterators[pid])
-            except StopIteration:
-                del iterators[pid]
-                continue
-            fleet.push_wire(frame)
-            drained = fleet.maybe_drain()
-            if drained:
-                n_drains += 1
-                decisions.extend(drained)
-    fleet.finish()
-    decisions.extend(fleet.drain())
-    decisions.sort(key=decision_sort_key)
+    # Every node pushes its frames over its own TCP connection; the gateway
+    # reassembles, queues and delivers them, polling the drain policy.
+    decisions, gateway_stats = asyncio.run(stream_through_gateway(fleet, frames))
     print(
-        "Streamed %d frames through %d shards; %d policy-triggered drains + final flush"
-        % (n_frames, N_SHARDS, n_drains)
+        "Streamed %d frames over %d TCP connections through %d shards;"
+        % (gateway_stats.frames_delivered, gateway_stats.connections, N_SHARDS)
     )
+    print(
+        "  %d batched drains (final flush included), %.0f frames/s through the"
+        " gateway, peak queue depth %d"
+        % (
+            gateway_stats.drains,
+            gateway_stats.frames_per_s,
+            gateway_stats.max_queue_depth,
+        )
+    )
+    assert gateway_stats.fully_accounted and gateway_stats.frames_delivered == n_frames
 
     # ------------------------------------------------- per-patient timelines
     windowing = WindowingParams()

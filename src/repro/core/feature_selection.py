@@ -11,7 +11,6 @@ the GM / energy / area curves of Figure 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -76,7 +75,9 @@ def correlation_removal_order(X: np.ndarray) -> List[int]:
     return removal_order
 
 
-def select_features(X: np.ndarray, n_keep: int, removal_order: Optional[Sequence[int]] = None) -> List[int]:
+def select_features(
+    X: np.ndarray, n_keep: int, removal_order: Optional[Sequence[int]] = None
+) -> List[int]:
     """Column indices of the ``n_keep`` features retained by the heuristic.
 
     The returned indices are sorted in their original order so that feature

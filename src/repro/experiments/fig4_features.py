@@ -77,7 +77,10 @@ def run(
         feature_bits=64,
         coeff_bits=64,
     )
-    selected = selected_count if selected_count in counts else counts[min(len(counts) // 2, len(counts) - 1)]
+    if selected_count in counts:
+        selected = selected_count
+    else:
+        selected = counts[min(len(counts) // 2, len(counts) - 1)]
     return Fig4Result(points=points, selected_count=selected)
 
 

@@ -123,8 +123,14 @@ def run(
     )
     if float_gm is None:
         float_gm = max(point.gm for point in grid_points)
-    sel_d = selected_feature_bits if selected_feature_bits in feature_bit_options else list(feature_bit_options)[len(feature_bit_options) // 2]
-    sel_a = selected_coeff_bits if selected_coeff_bits in coeff_bit_options else list(coeff_bit_options)[len(coeff_bit_options) // 2]
+    if selected_feature_bits in feature_bit_options:
+        sel_d = selected_feature_bits
+    else:
+        sel_d = list(feature_bit_options)[len(feature_bit_options) // 2]
+    if selected_coeff_bits in coeff_bit_options:
+        sel_a = selected_coeff_bits
+    else:
+        sel_a = list(coeff_bit_options)[len(coeff_bit_options) // 2]
     return Fig6Result(
         grid_points=grid_points,
         homogeneous_points=homogeneous_points,

@@ -9,7 +9,6 @@ the catalogue records the mapping to the paper's one-based feature numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Tuple
 

@@ -188,7 +188,9 @@ class FeatureExtractor:
             return np.empty((0, N_FEATURES)), []
         return np.vstack(rows), kept
 
-    def extract_recording(self, recording: Recording) -> Tuple[np.ndarray, np.ndarray, List[Window]]:
+    def extract_recording(
+        self, recording: Recording
+    ) -> Tuple[np.ndarray, np.ndarray, List[Window]]:
         """Feature matrix, labels and retained windows of one recording."""
         windows = extract_windows(recording, self.params.windowing)
         rows: List[np.ndarray] = []

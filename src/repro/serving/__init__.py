@@ -37,6 +37,14 @@ Entry points, smallest to largest deployment:
   process-per-shard backends), decision-for-decision identical to a single
   fleet (``tests/test_serving_sharding.py``).
 
+On top of the fleets sits the push-based front door:
+:class:`~repro.serving.ingest.IngestGateway` accepts wire-format frames over
+TCP (and in-process async queues), reassembles them across arbitrary socket
+read boundaries with :class:`~repro.serving.wire.StreamDecoder`, absorbs
+bursts in per-patient bounded queues (block / shed-oldest / reject
+backpressure) and feeds the fleet through a drain task — decisions stay
+identical to the synchronous loop (``tests/test_serving_ingest.py``).
+
 Cross-cutting pieces: :mod:`repro.serving.wire` frames ECG chunks for
 transport (versioned binary format, CRC, per-patient sequence numbers) and
 :mod:`repro.serving.scheduler` decides *when* fleets classify their queued
@@ -44,8 +52,19 @@ windows (chunk-count, queue-size or latency-triggered
 :class:`~repro.serving.scheduler.DrainPolicy` objects).
 """
 
-from repro.serving.streaming import PendingWindow, StreamingMonitor, WindowDecision, classify_windows
+from repro.serving.streaming import (
+    PendingWindow,
+    StreamingMonitor,
+    WindowDecision,
+    classify_windows,
+)
 from repro.serving.fleet import MonitorFleet, decision_sort_key
+from repro.serving.ingest import (
+    BACKPRESSURE_POLICIES,
+    BackpressureError,
+    GatewayStats,
+    IngestGateway,
+)
 from repro.serving.scheduler import (
     AnyOf,
     ChunkCountPolicy,
@@ -61,6 +80,7 @@ from repro.serving.wire import (
     OutOfOrderChunkError,
     SequenceError,
     SequenceTracker,
+    StreamDecoder,
     WireFormatError,
     decode_chunk,
     encode_chunk,
@@ -83,10 +103,15 @@ __all__ = [
     "PendingWindowPolicy",
     "LatencyPolicy",
     "AnyOf",
+    "IngestGateway",
+    "GatewayStats",
+    "BackpressureError",
+    "BACKPRESSURE_POLICIES",
     "EcgChunk",
     "encode_chunk",
     "decode_chunk",
     "iter_chunks",
+    "StreamDecoder",
     "SequenceTracker",
     "SequenceError",
     "DuplicateChunkError",

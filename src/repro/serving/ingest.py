@@ -1,0 +1,569 @@
+"""Async ingestion gateway: the push-based front door of the serving layer.
+
+PR 1–2 left the fleets pull-driven — some caller hands chunks to
+:meth:`~repro.serving.fleet.MonitorFleet.push` synchronously.  A deployed
+monitor backend is the opposite shape: hundreds of body sensor nodes *push*
+wire-format frames over flaky links, at their own rate, and the backend must
+absorb bursts without corrupting per-patient DSP state or falling over.
+:class:`IngestGateway` is that front door:
+
+* **Transport** — an ``asyncio`` TCP server (:meth:`IngestGateway.serve`)
+  accepts any number of node connections, each carrying a raw concatenation
+  of :mod:`repro.serving.wire` frames.  A per-connection
+  :class:`~repro.serving.wire.StreamDecoder` reassembles frames across
+  arbitrary ``read()`` boundaries; a corrupt stream drops that connection
+  only.  In-process producers use :meth:`IngestGateway.submit` (framed
+  bytes) or :meth:`IngestGateway.submit_chunk` (decoded chunks) instead.
+* **Per-patient backpressure** — every patient has a bounded frame queue
+  (``queue_depth``) with a configurable overflow policy: ``"block"`` holds
+  the producer coroutine (TCP flow control propagates to the node),
+  ``"shed-oldest"`` drops the stalest queued frame, ``"reject"`` refuses the
+  new one with :class:`BackpressureError`.  Policies are per-patient: one
+  chatty node cannot evict another patient's frames.
+* **Draining** — a single pump task moves queued frames into the fleet in
+  global arrival order and polls the fleet's
+  :class:`~repro.serving.scheduler.DrainPolicy` after every frame (and on an
+  idle tick, so a :class:`~repro.serving.scheduler.LatencyPolicy` fires even
+  when no new frames arrive).  The fleet's injectable clock keeps that
+  testable under asyncio.
+* **Parity** — the gateway preserves the serving layer's headline
+  guarantee: per-patient frame order is FIFO end to end and the fleet's
+  classifiers are batch-composition invariant (bit-exactly so on the
+  fixed-point path), so for any chunking of the byte stream, any queue
+  depth and any backpressure policy that drops no frames, the decisions are
+  identical to the synchronous offline loop (``tests/test_serving_ingest.py``).
+* **Accounting** — :meth:`IngestGateway.stats` returns a
+  :class:`GatewayStats` snapshot in which every frame ever received is
+  delivered, queued, shed, rejected or errored — nothing vanishes, which is
+  what makes the lossy policies auditable.
+
+Graceful shutdown (:meth:`IngestGateway.stop`) closes the server, lets the
+open connections finish, drains every queue into the fleet, flushes the
+monitors' partial windows and runs a final classify — then returns the full
+canonically ordered decision list.
+
+The pump runs the DSP synchronously on the event loop: one ~30 s ECG chunk
+costs well under a millisecond of Pan–Tompkins + windowing, so handing it to
+an executor would cost more in ping-pong than it buys.  At fleet scale the
+classifier work is already batched by the drain policy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.serving.fleet import decision_sort_key
+from repro.serving.scheduler import DrainPolicy
+from repro.serving.streaming import WindowDecision
+from repro.serving.wire import (
+    EcgChunk,
+    SequenceError,
+    StreamDecoder,
+    WireFormatError,
+    decode_chunk,
+)
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "BackpressureError",
+    "GatewayStats",
+    "IngestGateway",
+]
+
+#: Recognised per-patient queue overflow policies.
+BACKPRESSURE_POLICIES = ("block", "shed-oldest", "reject")
+
+
+class BackpressureError(RuntimeError):
+    """A frame was refused because its patient's queue is full (``"reject"``)."""
+
+    def __init__(self, patient_id: int, queue_depth: int) -> None:
+        super().__init__(
+            "patient %d queue is full (%d frames)" % (patient_id, queue_depth)
+        )
+        self.patient_id = int(patient_id)
+        self.queue_depth = int(queue_depth)
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """Point-in-time snapshot of the gateway's frame ledger and queues.
+
+    The ledger is conservative: ``frames_received`` splits exactly into
+    delivered + queued + shed + rejected + errored (:attr:`fully_accounted`),
+    so under a lossy backpressure policy the losses are *measured*, never
+    implied.
+    """
+
+    #: Frames that entered the gateway (decoded from TCP or submitted).
+    frames_received: int
+    #: Frames handed to the fleet's streaming path.
+    frames_delivered: int
+    #: Frames dropped by the ``"shed-oldest"`` policy.
+    frames_shed: int
+    #: Frames refused by the ``"reject"`` policy.
+    frames_rejected: int
+    #: Frames the fleet refused (sequence violation, unknown patient, fs
+    #: mismatch) — received but undeliverable.
+    frames_errored: int
+    #: Undecodable inputs: connections dropped for a corrupt byte stream,
+    #: plus in-process submissions that failed to decode.
+    wire_errors: int
+    #: Raw bytes received — TCP reads and in-process frame submissions.
+    bytes_received: int
+    #: TCP connections accepted so far.
+    connections: int
+    #: Patients with a queue (every patient ever seen by the gateway).
+    patients: int
+    #: Frames currently waiting in per-patient queues.
+    queued_frames: int
+    #: Deepest any single patient queue has ever been.
+    max_queue_depth: int
+    #: Window decisions emitted so far.
+    decisions: int
+    #: Policy-triggered drains run by the pump (the final flush included).
+    drains: int
+    #: Seconds since the gateway started (0.0 before :meth:`IngestGateway.start`).
+    uptime_s: float
+
+    @property
+    def frames_per_s(self) -> float:
+        """Delivered-frame throughput over the gateway's lifetime."""
+        return self.frames_delivered / self.uptime_s if self.uptime_s > 0.0 else 0.0
+
+    @property
+    def fully_accounted(self) -> bool:
+        """Every received frame is delivered, queued, shed, rejected or errored."""
+        return self.frames_received == (
+            self.frames_delivered
+            + self.queued_frames
+            + self.frames_shed
+            + self.frames_rejected
+            + self.frames_errored
+        )
+
+
+class _PatientQueue:
+    """One patient's bounded FIFO of decoded chunks plus its space signal."""
+
+    __slots__ = ("items", "space")
+
+    def __init__(self) -> None:
+        self.items: Deque[EcgChunk] = deque()
+        self.space = asyncio.Event()
+        self.space.set()
+
+
+class IngestGateway:
+    """Asyncio front door feeding a monitor fleet from pushed wire frames.
+
+    Parameters
+    ----------
+    fleet:
+        A :class:`~repro.serving.fleet.MonitorFleet` or
+        :class:`~repro.serving.sharding.ShardedFleet`.  The gateway owns its
+        streaming side while running: frames are pushed in arrival order and
+        the fleet's drain policy is polled by the pump task.
+    queue_depth:
+        Per-patient queue bound (frames).  The knob that trades memory for
+        burst absorption.
+    backpressure:
+        ``"block"`` (default), ``"shed-oldest"`` or ``"reject"`` — what
+        happens to an arriving frame whose patient queue is full.
+    drain_policy:
+        Optional :class:`~repro.serving.scheduler.DrainPolicy` installed on
+        the fleet (replacing its current one) for each serving period:
+        :meth:`start` installs it, :meth:`stop` restores the fleet's
+        previous policy, and a restarted gateway installs it again.  Without
+        any policy, windows are classified only by the final flush.
+    poll_interval_s:
+        Idle tick of the pump task — the latency resolution of time-based
+        drain policies when no frames are arriving.
+    close_grace_s:
+        How long :meth:`stop` waits for open connections to drain their
+        in-flight bytes and hit EOF before force-closing them.  A push
+        protocol has no close handshake, so an idle-but-open node link must
+        not be allowed to park shutdown forever.
+    enforce_seq:
+        Whether delivered frames carry their wire sequence numbers into the
+        fleet's strict per-patient policing.  Defaults to ``True`` under
+        ``"block"`` (the gateway is lossless, so a gap really is a transport
+        fault) and ``False`` under the lossy policies (a shed frame is a
+        *policy decision* — the stream must keep flowing across the gap,
+        which strict sequencing would forbid).  Override to force either.
+    clock:
+        Monotonic time source for :attr:`GatewayStats.uptime_s`; injectable
+        for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        *,
+        queue_depth: int = 64,
+        backpressure: str = "block",
+        drain_policy: Optional[DrainPolicy] = None,
+        poll_interval_s: float = 0.05,
+        close_grace_s: float = 1.0,
+        enforce_seq: Optional[bool] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                "unknown backpressure policy %r (choose from %s)"
+                % (backpressure, BACKPRESSURE_POLICIES)
+            )
+        if queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        self.fleet = fleet
+        self.queue_depth = int(queue_depth)
+        self.backpressure = backpressure
+        if enforce_seq is None:
+            enforce_seq = backpressure == "block"
+        self.enforce_seq = bool(enforce_seq)
+        self._gateway_policy = drain_policy
+        self._previous_policy: Optional[DrainPolicy] = None
+        self._policy_installed = False
+        self.poll_interval_s = float(poll_interval_s)
+        self.close_grace_s = float(close_grace_s)
+        self._clock = clock
+        #: Decisions emitted so far, canonically sorted by :meth:`stop`.
+        self.decisions: List[WindowDecision] = []
+        self._queues: Dict[int, _PatientQueue] = {}
+        self._order: Deque[int] = deque()
+        self._data = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self._conn_writers: set = set()
+        self._closing_connections = False
+        self._pump_task: Optional[asyncio.Task] = None
+        self._closing = False
+        self._started_t: Optional[float] = None
+        self._frames_received = 0
+        self._frames_delivered = 0
+        self._frames_shed = 0
+        self._frames_rejected = 0
+        self._frames_errored = 0
+        self._wire_errors = 0
+        self._bytes_received = 0
+        self._connections = 0
+        self._queued = 0
+        self._max_queue_depth = 0
+        self._drains = 0
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Start the pump task (idempotent).  :meth:`serve` calls this.
+
+        Also the recovery point: if the pump died on a classifier fault, a
+        new start() replaces it and delivery resumes.
+        """
+        if self._pump_task is None or self._pump_task.done():
+            self._closing = False
+            self._closing_connections = False
+            # asyncio primitives bind to the loop that first awaits them and
+            # raise "bound to a different event loop" if reused from another;
+            # a new serving period may run under a fresh asyncio.run.
+            # Replace only events left bound to a previous period's loop —
+            # waiters parked on the current loop's events keep theirs.
+            running = asyncio.get_running_loop()
+            if getattr(self._data, "_loop", None) not in (None, running):
+                self._data = asyncio.Event()
+                if self._order:
+                    self._data.set()
+            for queue in self._queues.values():
+                if getattr(queue.space, "_loop", None) not in (None, running):
+                    queue.space = asyncio.Event()
+                    if len(queue.items) < self.queue_depth:
+                        queue.space.set()
+            # (guarded so reviving a dead pump does not re-capture the
+            # gateway's own installed policy as the "previous" one)
+            if self._gateway_policy is not None and not self._policy_installed:
+                self._previous_policy = self.fleet.drain_policy
+                self.fleet.drain_policy = self._gateway_policy
+                self._policy_installed = True
+            if self._started_t is None:
+                self._started_t = self._clock()
+            self._pump_task = asyncio.get_running_loop().create_task(self._pump_loop())
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
+        """Start the TCP front door; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port — the test- and example-friendly
+        default.  Each accepted connection is an independent frame stream.
+        """
+        await self.start()
+        if self._server is not None:
+            raise RuntimeError("gateway is already serving")
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop(self) -> List[WindowDecision]:
+        """Graceful shutdown: drain everything, flush windows, final classify.
+
+        Stops accepting connections; gives the open ones ``close_grace_s``
+        to drain their in-flight bytes and close from the node side, then
+        force-disconnects the stragglers (an idle-but-open node link must
+        not park shutdown forever); delivers every queued frame to the
+        fleet, flushes the monitors' partial windows and runs one final
+        drain.  Returns the complete decision list in canonical
+        :func:`~repro.serving.fleet.decision_sort_key` order (also left on
+        :attr:`decisions`).
+
+        Fault-tolerant and retryable: if the pump task died on a classifier
+        fault, its queued frames are still delivered here and the final
+        drain reclassifies the fleet's surviving windows (a failed fleet
+        drain keeps them queued), so a transient fault costs nothing once
+        it clears; if the fault persists, the error propagates with the
+        fleet's previous drain policy restored and every queue intact — a
+        later :meth:`stop` retries cleanly.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+            # A just-accepted connection's handler task registers itself in
+            # _conn_tasks synchronously at its first step; one loop pass lets
+            # not-yet-started handlers do that before we wait on them
+            # (Server.wait_closed only waits for handlers on Python >= 3.12.1).
+            await asyncio.sleep(0)
+        if self._conn_tasks:
+            # While the pump is alive, handlers blocked on a full queue keep
+            # making progress through the grace window.
+            _, stragglers = await asyncio.wait(
+                list(self._conn_tasks), timeout=self.close_grace_s
+            )
+            if stragglers:
+                self._closing_connections = True
+                # Wake producers parked on block-policy backpressure: with a
+                # dead pump nothing else ever would, and closing a transport
+                # does not interrupt an Event wait (see submit_chunk, which
+                # lets them through one-over-bound during forced close).
+                for queue in self._queues.values():
+                    queue.space.set()
+                for writer in list(self._conn_writers):
+                    writer.close()
+        while self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        self._closing = True
+        self._data.set()
+        pump, self._pump_task = self._pump_task, None
+        if pump is not None:
+            try:
+                await pump
+            except Exception:
+                # The pump died mid-run (e.g. a classifier fault in a policy
+                # drain).  Its windows are still queued on the fleet and its
+                # frames still queued here; the flush below delivers and
+                # reclassifies them, which is the pump error handled.
+                pass
+        try:
+            # Also the safety net for a gateway that was fed but never
+            # started: no submitted frame is ever silently lost.
+            while self._deliver_one():
+                self._poll_drain()
+            self.fleet.finish()
+            final = self.fleet.drain()
+        finally:
+            # Restore only what start() actually installed — never clobber a
+            # policy the caller set on the fleet themselves.
+            if self._policy_installed:
+                self.fleet.drain_policy = self._previous_policy
+                self._policy_installed = False
+        if final:
+            self._drains += 1
+        self._emit(final)
+        self.decisions.sort(key=decision_sort_key)
+        return list(self.decisions)
+
+    async def __aenter__(self) -> "IngestGateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # -------------------------------------------------------------- ingestion
+    async def submit(self, frame: bytes) -> None:
+        """In-process front door: ingest one complete framed chunk.
+
+        Applies the same strict decoding and backpressure as the TCP path.
+        Raises :class:`~repro.serving.wire.WireFormatError` on a bad frame
+        (tallied in ``wire_errors``, exactly like a corrupt TCP stream) and
+        :class:`BackpressureError` under the ``"reject"`` policy.
+        """
+        self._bytes_received += len(frame)
+        try:
+            chunk = decode_chunk(frame)
+        except WireFormatError:
+            self._wire_errors += 1
+            raise
+        await self.submit_chunk(chunk)
+
+    async def submit_chunk(self, chunk: EcgChunk) -> None:
+        """Ingest an already-decoded chunk (the zero-copy in-process path).
+
+        ``frames_received`` is incremented only at the terminal outcome of
+        the frame (queued / rejected / errored), never before an ``await`` —
+        so the :attr:`GatewayStats.fully_accounted` invariant holds at every
+        suspension point, including while a ``"block"``-policy producer is
+        parked on a full queue.
+        """
+        if chunk.fs != self.fleet.fs:
+            self._frames_received += 1
+            self._frames_errored += 1
+            raise WireFormatError(
+                "chunk fs %g Hz does not match the fleet's %g Hz"
+                % (chunk.fs, self.fleet.fs)
+            )
+        queue = self._queues.get(chunk.patient_id)
+        if queue is None:
+            queue = self._queues[chunk.patient_id] = _PatientQueue()
+        if len(queue.items) >= self.queue_depth:
+            if self.backpressure == "shed-oldest":
+                queue.items.popleft()
+                self._queued -= 1
+                self._frames_shed += 1
+            elif self.backpressure == "reject":
+                self._frames_received += 1
+                self._frames_rejected += 1
+                raise BackpressureError(chunk.patient_id, self.queue_depth)
+            else:  # block: hold the producer until the pump makes room
+                while len(queue.items) >= self.queue_depth:
+                    if self._closing_connections:
+                        # Forced shutdown: accept the frame one-over-bound
+                        # rather than deadlock a handler the pump can no
+                        # longer relieve; stop()'s flush delivers it.
+                        break
+                    queue.space.clear()
+                    await queue.space.wait()
+        queue.items.append(chunk)
+        self._frames_received += 1
+        self._queued += 1
+        if len(queue.items) > self._max_queue_depth:
+            self._max_queue_depth = len(queue.items)
+        self._order.append(chunk.patient_id)
+        self._data.set()
+
+    async def _handle_connection(self, reader, writer) -> None:
+        """One node's connection: reassemble frames, apply backpressure."""
+        self._connections += 1
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
+        decoder = StreamDecoder()
+        try:
+            while True:
+                try:
+                    data = await reader.read(1 << 16)
+                except (ConnectionError, OSError):
+                    # The link dropped (or stop() force-closed it): whatever
+                    # frames completed before that are already submitted.
+                    break
+                if not data:
+                    if not self._closing_connections:
+                        # EOF the gateway did not force is the node's own
+                        # close; a partial buffered frame is then truncation.
+                        decoder.finish()
+                    break
+                self._bytes_received += len(data)
+                for chunk in decoder.feed(data):
+                    try:
+                        await self.submit_chunk(chunk)
+                    except BackpressureError:
+                        pass  # recorded in frames_rejected; the stream goes on
+        except WireFormatError:
+            # Framing is gone (or the fs is wrong): this connection is dead,
+            # but the gateway and every other node keep running.
+            self._wire_errors += 1
+        finally:
+            self._conn_tasks.discard(task)
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------ pump
+    def _deliver_one(self) -> bool:
+        """Move the oldest queued frame into the fleet; ``False`` when idle."""
+        while self._order:
+            patient_id = self._order.popleft()
+            queue = self._queues[patient_id]
+            if not queue.items:
+                continue  # stale marker left behind by a shed frame
+            chunk = queue.items.popleft()
+            self._queued -= 1
+            if len(queue.items) < self.queue_depth:
+                queue.space.set()
+            try:
+                self.fleet.push(
+                    chunk.patient_id,
+                    chunk.samples,
+                    seq=chunk.seq if self.enforce_seq else None,
+                )
+            except (SequenceError, KeyError):
+                self._frames_errored += 1
+            else:
+                self._frames_delivered += 1
+            return True
+        return False
+
+    def _emit(self, decisions: List[WindowDecision]) -> None:
+        self.decisions.extend(decisions)
+
+    def _poll_drain(self) -> None:
+        decisions = self.fleet.maybe_drain()
+        if decisions:
+            self._drains += 1
+            self._emit(decisions)
+
+    async def _pump_loop(self) -> None:
+        while True:
+            if self._deliver_one():
+                self._poll_drain()
+                # Yield between frames so producers (and the shed/reject
+                # bookkeeping they run) interleave with delivery.
+                await asyncio.sleep(0)
+                continue
+            if self._closing:
+                return
+            self._data.clear()
+            if self._order:  # data raced in after the last delivery
+                self._data.set()
+                continue
+            timeout = self.poll_interval_s if self.fleet.drain_policy is not None else None
+            try:
+                await asyncio.wait_for(self._data.wait(), timeout)
+            except asyncio.TimeoutError:
+                # Idle tick: give time-based drain policies their poll.
+                self._poll_drain()
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> GatewayStats:
+        """Snapshot the frame ledger, queue state and throughput."""
+        uptime = 0.0
+        if self._started_t is not None:
+            uptime = max(0.0, self._clock() - self._started_t)
+        return GatewayStats(
+            frames_received=self._frames_received,
+            frames_delivered=self._frames_delivered,
+            frames_shed=self._frames_shed,
+            frames_rejected=self._frames_rejected,
+            frames_errored=self._frames_errored,
+            wire_errors=self._wire_errors,
+            bytes_received=self._bytes_received,
+            connections=self._connections,
+            patients=len(self._queues),
+            queued_frames=self._queued,
+            max_queue_depth=self._max_queue_depth,
+            decisions=len(self.decisions),
+            drains=self._drains,
+            uptime_s=uptime,
+        )

@@ -330,7 +330,11 @@ class ShardedFleet:
         self.ring = HashRing(self.n_shards, replicas=replicas)
         if backend == "process":
             self._backend = _ProcessBackend(
-                self.n_shards, classifier, self.fs, windowing, detector_params,
+                self.n_shards,
+                classifier,
+                self.fs,
+                windowing,
+                detector_params,
                 self.auto_register,
             )
         else:

@@ -33,6 +33,14 @@ truncated payload, trailing garbage or a CRC mismatch all raise
 :class:`WireFormatError` — a corrupted frame is never silently turned into
 samples.
 
+A *live* byte stream (a TCP socket) delivers frames in arbitrary pieces:
+``read()`` may return half a header, three frames and a bit, or one byte.
+:class:`StreamDecoder` is the incremental counterpart of :func:`iter_chunks`
+for that case — feed it whatever bytes arrived and it yields every frame
+that has become complete, buffering the partial tail for the next feed.  It
+applies the same strict validation, and fails as *early* as the arrived
+bytes allow (a bad magic needs four bytes, not a whole frame).
+
 Delivery-order policing is separate from framing: a :class:`SequenceTracker`
 validates per-patient sequence numbers and raises
 :class:`DuplicateChunkError` for already-seen chunks and
@@ -65,6 +73,7 @@ __all__ = [
     "decode_chunk",
     "decode_chunk_checked",
     "iter_chunks",
+    "StreamDecoder",
     "SequenceTracker",
 ]
 
@@ -197,12 +206,13 @@ def encode_chunk(
     return bare_header[:-4] + struct.pack("<I", crc) + payload
 
 
-def _decode_at(buf: bytes, offset: int) -> tuple[EcgChunk, int]:
-    """Decode the frame starting at ``offset``; return (chunk, next offset)."""
-    if len(buf) - offset < HEADER.size:
-        raise WireFormatError(
-            "truncated header: %d bytes, need %d" % (len(buf) - offset, HEADER.size)
-        )
+def _parse_header(buf, offset: int):
+    """Validate the header at ``offset``; return its decoded fields.
+
+    Requires ``HEADER.size`` bytes to be available.  Every check that does
+    not need the payload happens here, so an incremental decoder can reject
+    a corrupt frame as soon as its header has arrived.
+    """
     magic, version, dtype_code, reserved, patient_id, seq, n_samples, fs, crc = (
         HEADER.unpack_from(buf, offset)
     )
@@ -216,7 +226,23 @@ def _decode_at(buf: bytes, offset: int) -> tuple[EcgChunk, int]:
         raise WireFormatError("unknown payload dtype code %d" % dtype_code)
     if not fs > 0.0 or not np.isfinite(fs):
         raise WireFormatError("invalid sampling frequency %r" % fs)
-    dtype = DTYPE_CODES[dtype_code]
+    return patient_id, seq, n_samples, fs, DTYPE_CODES[dtype_code], crc
+
+
+def _decode_at(buf: bytes, offset: int, header=None) -> tuple[EcgChunk, int]:
+    """Decode the frame starting at ``offset``; return (chunk, next offset).
+
+    ``header`` accepts the fields a caller already obtained from
+    :func:`_parse_header` for this offset, so an incremental decoder does
+    not validate every header twice.
+    """
+    if len(buf) - offset < HEADER.size:
+        raise WireFormatError(
+            "truncated header: %d bytes, need %d" % (len(buf) - offset, HEADER.size)
+        )
+    if header is None:
+        header = _parse_header(buf, offset)
+    patient_id, seq, n_samples, fs, dtype, crc = header
     start = offset + HEADER.size
     end = start + n_samples * dtype.itemsize
     if len(buf) < end:
@@ -267,6 +293,126 @@ def iter_chunks(buf: bytes) -> Iterator[EcgChunk]:
         yield chunk
 
 
+class StreamDecoder:
+    """Incremental frame reassembly for live byte streams.
+
+    :meth:`feed` accepts bytes exactly as they came off a socket — any
+    split, down to one byte at a time — and returns the frames completed by
+    that feed, buffering the partial tail internally.  The chunk sequence is
+    invariant under the read chunking: for any partition of a byte stream,
+    the concatenation of the ``feed`` results equals ``iter_chunks`` over
+    the whole stream (property-tested in ``tests/test_serving_ingest.py``).
+
+    Validation is as strict as :func:`decode_chunk` and as *early* as
+    possible: a bad magic is rejected once four bytes arrived, any other
+    header corruption once the 32-byte header arrived, and a CRC mismatch
+    once the payload completed.  After a :class:`WireFormatError` the stream
+    has lost framing and the decoder refuses further input — a transport
+    should drop the connection, not resynchronise on guesswork.
+
+    Corruption never costs the frames decoded *before* it: when a read
+    completes valid frames and then hits garbage, :meth:`feed` returns the
+    valid frames and defers the :class:`WireFormatError` to the next
+    :meth:`feed` / :meth:`finish` call.  Delivered-frame counts therefore do
+    not depend on where the socket happened to split the bytes — the same
+    invariance the happy path guarantees.
+
+    :meth:`finish` asserts clean end-of-stream: EOF in the middle of a
+    buffered frame is a truncation, not a quiet success.
+
+    ``max_frame_bytes`` bounds the payload a single header may declare
+    (default 64 MiB — hours of ECG, orders of magnitude above any real
+    chunk).  Without a bound, one flipped bit in the u32 sample-count field
+    of an otherwise-valid header would make the decoder buffer gigabytes
+    waiting for a payload that never completes; with it, the oversized
+    declaration is itself corruption, rejected the moment the header
+    arrives.
+    """
+
+    def __init__(self, max_frame_bytes: int = 1 << 26) -> None:
+        if max_frame_bytes <= 0:
+            raise ValueError("max_frame_bytes must be positive")
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buf = bytearray()
+        self._frames_decoded = 0
+        self._corrupt = False
+        self._deferred: WireFormatError | None = None
+
+    def _raise_if_poisoned(self) -> None:
+        if self._deferred is not None:
+            exc, self._deferred = self._deferred, None
+            raise exc
+        if self._corrupt:
+            raise WireFormatError("stream already failed to decode; drop the connection")
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes of the partial frame waiting for more input."""
+        return len(self._buf)
+
+    @property
+    def frames_decoded(self) -> int:
+        """Total frames returned by :meth:`feed` so far."""
+        return self._frames_decoded
+
+    @property
+    def at_frame_boundary(self) -> bool:
+        """``True`` when no partial frame is buffered (EOF would be clean)."""
+        return not self._buf and not self._corrupt
+
+    def feed(self, data) -> list[EcgChunk]:
+        """Consume one read's worth of bytes; return the frames it completed."""
+        self._raise_if_poisoned()
+        self._buf += data
+        chunks: list[EcgChunk] = []
+        offset = 0
+        try:
+            while True:
+                available = len(self._buf) - offset
+                if available == 0:
+                    break
+                if available < HEADER.size:
+                    # Fail fast: a prefix that cannot open a valid header will
+                    # never become one, however many bytes follow.
+                    prefix = bytes(self._buf[offset : offset + min(available, 4)])
+                    if prefix != WIRE_MAGIC[: len(prefix)]:
+                        raise WireFormatError(
+                            "bad magic %r (expected %r)" % (prefix, WIRE_MAGIC)
+                        )
+                    break
+                header = _parse_header(self._buf, offset)
+                payload_bytes = header[2] * header[4].itemsize  # n_samples * width
+                if payload_bytes > self.max_frame_bytes:
+                    raise WireFormatError(
+                        "header declares a %d-byte payload, above the stream's"
+                        " %d-byte frame bound" % (payload_bytes, self.max_frame_bytes)
+                    )
+                if available < HEADER.size + payload_bytes:
+                    break
+                chunk, offset = _decode_at(self._buf, offset, header=header)
+                chunks.append(chunk)
+        except WireFormatError as exc:
+            self._corrupt = True
+            if not chunks:
+                raise
+            # This read completed valid frames before the corruption: hand
+            # them over and re-raise the error on the next feed()/finish(),
+            # so what got delivered never depends on the read chunking.
+            self._deferred = exc
+        if offset:
+            del self._buf[:offset]
+        self._frames_decoded += len(chunks)
+        return chunks
+
+    def finish(self) -> None:
+        """Declare end-of-stream; raise if a partial frame was left behind."""
+        self._raise_if_poisoned()
+        if self._buf:
+            raise WireFormatError(
+                "stream ended mid-frame (%d buffered bytes)" % len(self._buf)
+            )
+
+
 class SequenceTracker:
     """Per-stream sequence-number policing: exactly-once, in-order delivery.
 
@@ -276,6 +422,13 @@ class SequenceTracker:
     (:class:`OutOfOrderChunkError`).  Chunks carry DSP state across their
     boundaries, so a skipped or repeated chunk would silently corrupt every
     later window — rejecting at ingestion is the only safe behaviour.
+
+    **Recovery contract**: a rejection never moves the tracker.  However many
+    duplicates or out-of-order chunks were refused, :attr:`expected` is
+    exactly where the last *accepted* chunk left it, so the moment the
+    transport retransmits the expected chunk the stream re-synchronises as
+    if the rejected chunks had never arrived (``tests/test_serving_wire.py``
+    pins this).
     """
 
     def __init__(self, first_seq: int = 0) -> None:

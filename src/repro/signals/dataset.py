@@ -28,7 +28,12 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-from repro.signals.ecg_model import ECGSignal, ECGWaveformParams, modulated_r_amplitudes, synthesize_ecg
+from repro.signals.ecg_model import (
+    ECGSignal,
+    ECGWaveformParams,
+    modulated_r_amplitudes,
+    synthesize_ecg,
+)
 from repro.signals.respiration import RespirationParams, RespirationSignal, generate_respiration
 from repro.signals.rr_model import RRModelParams, generate_rr_series
 from repro.signals.seizures import Seizure, SeizureScheduleParams, schedule_seizures
@@ -222,13 +227,15 @@ def generate_cohort(params: CohortParams | None = None) -> SyntheticCohort:
     # Patient-specific baselines and autonomic seizure phenotypes.  The rate
     # and variability responses are anti-correlated across the cohort so that
     # both rate-dominant and variability-dominant patients are present.
-    base_hrs = params.rr_params.base_hr_bpm + params.rr_params.hr_between_patient_sd * rng.standard_normal(
-        params.n_patients
+    base_hrs = params.rr_params.base_hr_bpm + (
+        params.rr_params.hr_between_patient_sd * rng.standard_normal(params.n_patients)
     )
     base_hrs = np.clip(base_hrs, 55.0, 95.0)
     phenotype = rng.uniform(0.0, 1.0, size=params.n_patients)
-    hr_responses = np.clip(0.35 + 0.65 * phenotype + 0.1 * rng.standard_normal(params.n_patients), 0.2, 1.0)
-    rsa_responses = np.clip(0.35 + 0.65 * (1.0 - phenotype) + 0.1 * rng.standard_normal(params.n_patients), 0.2, 1.0)
+    patient_noise = rng.standard_normal(params.n_patients)
+    hr_responses = np.clip(0.35 + 0.65 * phenotype + 0.1 * patient_noise, 0.2, 1.0)
+    patient_noise = rng.standard_normal(params.n_patients)
+    rsa_responses = np.clip(0.35 + 0.65 * (1.0 - phenotype) + 0.1 * patient_noise, 0.2, 1.0)
     patients = [
         Patient(
             patient_id=pid,

@@ -174,7 +174,10 @@ def generate_respiration(
     dt = 1.0 / fs
 
     envelope = seizure_envelope(t, seizures)
-    arousal_env = seizure_envelope(t, arousals, use_intensity=True) if len(arousals) else np.zeros_like(t)
+    if len(arousals):
+        arousal_env = seizure_envelope(t, arousals, use_intensity=True)
+    else:
+        arousal_env = np.zeros_like(t)
 
     rate_drift = _ou_process(n, dt, params.rate_drift_tau_s, params.rate_drift_hz, rng)
     rate = params.base_rate_hz + rate_drift

@@ -124,7 +124,9 @@ class RRSeries:
         return float(60.0 / np.mean(self.rr_s))
 
 
-def _ou_drift(n: int, dt: float, tau_s: float, sigma: float, rng: np.random.Generator) -> np.ndarray:
+def _ou_drift(
+    n: int, dt: float, tau_s: float, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
     x = np.zeros(n)
     if tau_s <= 0 or sigma <= 0:
         return x
@@ -198,7 +200,10 @@ def generate_rr_series(
     # response is scaled by each seizure's intensity.
     envelope = seizure_envelope(t, seizures)
     rate_envelope = seizure_envelope(t, seizures, use_intensity=True)
-    arousal_env = seizure_envelope(t, arousals, use_intensity=True) if len(arousals) else np.zeros_like(t)
+    if len(arousals):
+        arousal_env = seizure_envelope(t, arousals, use_intensity=True)
+    else:
+        arousal_env = np.zeros_like(t)
     stress_env = (
         seizure_envelope(t, stress_episodes, use_intensity=True)
         if len(stress_episodes)

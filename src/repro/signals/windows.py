@@ -96,7 +96,9 @@ def window_label(
     return -1
 
 
-def _candidate_starts(duration_s: float, seizures: Sequence[Seizure], params: WindowingParams) -> np.ndarray:
+def _candidate_starts(
+    duration_s: float, seizures: Sequence[Seizure], params: WindowingParams
+) -> np.ndarray:
     """Start times of all candidate windows (background grid + seizure-context grid)."""
     last_start = duration_s - params.window_s
     if last_start < 0:

@@ -59,8 +59,14 @@ class TestRemovalOrder:
     def test_duplicate_column_removed_first(self):
         rng = np.random.default_rng(1)
         x = rng.standard_normal(200)
-        X = np.column_stack([x, x + 1e-9 * rng.standard_normal(200), rng.standard_normal(200),
-                             rng.standard_normal(200)])
+        X = np.column_stack(
+            [
+                x,
+                x + 1e-9 * rng.standard_normal(200),
+                rng.standard_normal(200),
+                rng.standard_normal(200),
+            ]
+        )
         order = correlation_removal_order(X)
         assert order[0] in (0, 1)
 

@@ -39,7 +39,9 @@ class TestConfusionCounts:
 
 class TestClassificationMetrics:
     def test_sensitivity_specificity_gm(self):
-        metrics = ClassificationMetrics(true_positives=8, true_negatives=90, false_positives=10, false_negatives=2)
+        metrics = ClassificationMetrics(
+            true_positives=8, true_negatives=90, false_positives=10, false_negatives=2
+        )
         assert metrics.sensitivity == pytest.approx(0.8)
         assert metrics.specificity == pytest.approx(0.9)
         assert metrics.gm == pytest.approx(np.sqrt(0.72))
@@ -128,7 +130,9 @@ class TestLeaveOneSessionOut:
 
     def test_session_subset(self, feature_matrix):
         sessions = list(feature_matrix.sessions[:2])
-        result = leave_one_session_out(feature_matrix, float_svm_factory(LinearKernel()), sessions=sessions)
+        result = leave_one_session_out(
+            feature_matrix, float_svm_factory(LinearKernel()), sessions=sessions
+        )
         assert result.n_folds == 2
 
     def test_mean_support_vectors_positive(self, feature_matrix):
@@ -149,7 +153,8 @@ class TestLeaveOneSessionOut:
     def test_quantized_close_to_float(self, feature_matrix):
         float_result = leave_one_session_out(feature_matrix, float_svm_factory())
         quant_result = leave_one_session_out(
-            feature_matrix, quantized_svm_factory(QuantizationConfig(feature_bits=12, coeff_bits=16))
+            feature_matrix,
+            quantized_svm_factory(QuantizationConfig(feature_bits=12, coeff_bits=16)),
         )
         assert abs(float_result.gm - quant_result.gm) < 0.1
 
@@ -157,12 +162,20 @@ class TestLeaveOneSessionOut:
         result = leave_one_session_out(feature_matrix, float_svm_factory(LinearKernel()))
         pooled = result.pooled_metrics
         total = (
-            pooled.true_positives + pooled.true_negatives + pooled.false_positives + pooled.false_negatives
+            pooled.true_positives
+            + pooled.true_negatives
+            + pooled.false_positives
+            + pooled.false_negatives
         )
         assert total == feature_matrix.n_samples
 
     def test_summary_keys(self, feature_matrix):
         result = leave_one_session_out(feature_matrix, float_svm_factory(LinearKernel()))
         assert set(result.summary()) == {
-            "n_folds", "sensitivity", "specificity", "gm", "mean_support_vectors", "n_features",
+            "n_folds",
+            "sensitivity",
+            "specificity",
+            "gm",
+            "mean_support_vectors",
+            "n_features",
         }

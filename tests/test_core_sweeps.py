@@ -4,7 +4,6 @@ These tests exercise the paper's optimisation flows end-to-end on the small
 test cohort, with trimmed sweep axes so they stay fast.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.bitwidth_search import bitwidth_grid_search, homogeneous_width_search
@@ -37,7 +36,9 @@ class TestSvBudgetSweep:
 class TestBitwidthSearch:
     @pytest.fixture(scope="class")
     def grid(self, feature_matrix):
-        return bitwidth_grid_search(feature_matrix, feature_bit_options=[7, 9], coeff_bit_options=[13, 15])
+        return bitwidth_grid_search(
+            feature_matrix, feature_bit_options=[7, 9], coeff_bit_options=[13, 15]
+        )
 
     def test_grid_size(self, grid):
         assert len(grid) == 4

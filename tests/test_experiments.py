@@ -1,6 +1,5 @@
 """Integration tests for the experiment harness (tables / figures)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -13,7 +13,6 @@ from repro.features.catalog import (
     paper_feature_number,
 )
 from repro.features.extractor import (
-    FeatureExtractionParams,
     FeatureExtractor,
     FeatureMatrix,
     extract_cohort_features,

@@ -66,11 +66,18 @@ class TestSramModel:
 
 class TestAcceleratorModel:
     BASELINE = AcceleratorConfig(
-        n_features=53, n_support_vectors=120, feature_bits=64, coeff_bits=64,
-        per_feature_scaling=False, datapath_cap_bits=64,
+        n_features=53,
+        n_support_vectors=120,
+        feature_bits=64,
+        coeff_bits=64,
+        per_feature_scaling=False,
+        datapath_cap_bits=64,
     )
     OPTIMISED = AcceleratorConfig(
-        n_features=30, n_support_vectors=68, feature_bits=9, coeff_bits=15,
+        n_features=30,
+        n_support_vectors=68,
+        feature_bits=9,
+        coeff_bits=15,
         per_feature_scaling=True,
     )
 
@@ -88,48 +95,79 @@ class TestAcceleratorModel:
         assert 8.0 < area_gain < 25.0
 
     def test_energy_decreases_with_fewer_features(self):
-        few = AcceleratorConfig(n_features=23, n_support_vectors=120, feature_bits=64, coeff_bits=64)
-        many = AcceleratorConfig(n_features=53, n_support_vectors=120, feature_bits=64, coeff_bits=64)
+        few = AcceleratorConfig(
+            n_features=23, n_support_vectors=120, feature_bits=64, coeff_bits=64
+        )
+        many = AcceleratorConfig(
+            n_features=53, n_support_vectors=120, feature_bits=64, coeff_bits=64
+        )
         assert evaluate_accelerator(few).energy_nj < evaluate_accelerator(many).energy_nj
 
     def test_energy_decreases_with_fewer_support_vectors(self):
-        few = AcceleratorConfig(n_features=53, n_support_vectors=50, feature_bits=64, coeff_bits=64)
-        many = AcceleratorConfig(n_features=53, n_support_vectors=120, feature_bits=64, coeff_bits=64)
+        few = AcceleratorConfig(
+            n_features=53, n_support_vectors=50, feature_bits=64, coeff_bits=64
+        )
+        many = AcceleratorConfig(
+            n_features=53, n_support_vectors=120, feature_bits=64, coeff_bits=64
+        )
         assert evaluate_accelerator(few).energy_nj < evaluate_accelerator(many).energy_nj
 
     def test_area_decreases_with_narrower_words(self):
-        narrow = AcceleratorConfig(n_features=53, n_support_vectors=120, feature_bits=9, coeff_bits=15)
-        wide = AcceleratorConfig(n_features=53, n_support_vectors=120, feature_bits=32, coeff_bits=32)
+        narrow = AcceleratorConfig(
+            n_features=53, n_support_vectors=120, feature_bits=9, coeff_bits=15
+        )
+        wide = AcceleratorConfig(
+            n_features=53, n_support_vectors=120, feature_bits=32, coeff_bits=32
+        )
         assert evaluate_accelerator(narrow).area_mm2 < evaluate_accelerator(wide).area_mm2
 
     def test_datapath_widths_grow_without_cap(self):
-        config = AcceleratorConfig(n_features=53, n_support_vectors=100, feature_bits=9, coeff_bits=15)
+        config = AcceleratorConfig(
+            n_features=53, n_support_vectors=100, feature_bits=9, coeff_bits=15
+        )
         assert config.dot_accumulator_bits == 2 * 9 + 6
         assert config.dot_output_bits == config.dot_accumulator_bits - 10
         assert config.square_output_bits == 2 * config.dot_output_bits - 10
 
     def test_datapath_cap_enforced(self):
         config = AcceleratorConfig(
-            n_features=53, n_support_vectors=100, feature_bits=32, coeff_bits=32, datapath_cap_bits=32
+            n_features=53,
+            n_support_vectors=100,
+            feature_bits=32,
+            coeff_bits=32,
+            datapath_cap_bits=32,
         )
         assert config.dot_accumulator_bits == 32
         assert config.square_output_bits == 32
         assert config.mac2_accumulator_bits == 32
 
     def test_cycles_per_classification(self):
-        config = AcceleratorConfig(n_features=10, n_support_vectors=5, feature_bits=9, coeff_bits=15)
+        config = AcceleratorConfig(
+            n_features=10, n_support_vectors=5, feature_bits=9, coeff_bits=15
+        )
         assert config.cycles_per_classification == 10 * 5 + 2 * 5 + 4
 
     def test_breakdowns_sum_to_totals(self):
         report = evaluate_accelerator(self.OPTIMISED)
-        assert sum(report.area_breakdown_um2.values()) * 1e-6 == pytest.approx(report.area_mm2)
+        area_um2 = sum(report.area_breakdown_um2.values())
+        assert area_um2 * 1e-6 == pytest.approx(report.area_mm2)
         assert sum(report.energy_breakdown_nj.values()) == pytest.approx(report.energy_nj)
 
     def test_per_feature_scaling_adds_overhead(self):
-        base = AcceleratorConfig(n_features=30, n_support_vectors=68, feature_bits=9, coeff_bits=15,
-                                 per_feature_scaling=False)
-        scaled = AcceleratorConfig(n_features=30, n_support_vectors=68, feature_bits=9, coeff_bits=15,
-                                   per_feature_scaling=True)
+        base = AcceleratorConfig(
+            n_features=30,
+            n_support_vectors=68,
+            feature_bits=9,
+            coeff_bits=15,
+            per_feature_scaling=False,
+        )
+        scaled = AcceleratorConfig(
+            n_features=30,
+            n_support_vectors=68,
+            feature_bits=9,
+            coeff_bits=15,
+            per_feature_scaling=True,
+        )
         assert evaluate_accelerator(scaled).area_mm2 > evaluate_accelerator(base).area_mm2
 
     def test_invalid_config_rejected(self):

@@ -66,7 +66,12 @@ def test_global_range_exponent_dominates_per_feature(sv):
 # Metrics
 # --------------------------------------------------------------------------
 
-@given(tp=st.integers(0, 500), tn=st.integers(0, 500), fp=st.integers(0, 500), fn=st.integers(0, 500))
+@given(
+    tp=st.integers(0, 500),
+    tn=st.integers(0, 500),
+    fp=st.integers(0, 500),
+    fn=st.integers(0, 500),
+)
 @settings(max_examples=100, deadline=None)
 def test_metrics_bounded_and_consistent(tp, tn, fp, fn):
     metrics = ClassificationMetrics(tp, tn, fp, fn)

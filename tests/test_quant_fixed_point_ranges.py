@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.quant.fixed_point import int_bounds, quantize_to_int, saturate, scale_for_exponent, truncate_lsbs
+from repro.quant.fixed_point import (
+    int_bounds,
+    quantize_to_int,
+    saturate,
+    scale_for_exponent,
+    truncate_lsbs,
+)
 from repro.quant.ranges import (
     coefficient_range_exponent,
     feature_range_exponents,

@@ -246,7 +246,9 @@ class TestMonitorFleetParity:
         fleet_b = MonitorFleet(quantized_detector, FS)
         a = fleet_a.run(fleet_streams, drain_every=3)
         b = fleet_b.run(fleet_streams)
-        key = lambda d: (d.patient_id, d.start_s, d.usable, d.alarm)
+        def key(d):
+            return (d.patient_id, d.start_s, d.usable, d.alarm)
+
         assert sorted(map(key, a)) == sorted(map(key, b))
 
     def test_fleet_bookkeeping(self, quantized_detector):
@@ -374,8 +376,18 @@ class TestDrainPolicies:
     def test_merge_stats(self):
         merged = merge_stats(
             [
-                DrainStats(pending_windows=2, chunks_since_drain=5, oldest_pending_age_s=1.5, n_patients=3),
-                DrainStats(pending_windows=0, chunks_since_drain=1, oldest_pending_age_s=0.0, n_patients=2),
+                DrainStats(
+                    pending_windows=2,
+                    chunks_since_drain=5,
+                    oldest_pending_age_s=1.5,
+                    n_patients=3,
+                ),
+                DrainStats(
+                    pending_windows=0,
+                    chunks_since_drain=1,
+                    oldest_pending_age_s=0.0,
+                    n_patients=2,
+                ),
             ]
         )
         assert merged == DrainStats(

@@ -300,7 +300,9 @@ class TestDrainExceptionSafety:
         fleet = MonitorFleet(_PoisonableClassifier(quantized_detector), 128.0)
         poison = np.array(feature_matrix.X[0])
         poison[0] = _PoisonableClassifier.POISON
-        fleet.enqueue([_feature_window(0, 0.0, feature_matrix.X[0]), _feature_window(1, 0.0, poison)])
+        fleet.enqueue(
+            [_feature_window(0, 0.0, feature_matrix.X[0]), _feature_window(1, 0.0, poison)]
+        )
         with pytest.raises(RuntimeError, match="poisoned"):
             fleet.drain()
         # Nothing was popped: the drain is retryable.

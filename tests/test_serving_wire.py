@@ -18,7 +18,6 @@ from repro.serving import MonitorFleet, StreamingMonitor
 from repro.serving.wire import (
     DTYPE_CODES,
     HEADER,
-    WIRE_MAGIC,
     WIRE_VERSION,
     DuplicateChunkError,
     OutOfOrderChunkError,
@@ -265,6 +264,73 @@ class TestSequenceTracker:
             except (DuplicateChunkError, OutOfOrderChunkError):
                 pass
         assert accepted == list(range(len(accepted)))
+
+
+class TestSequenceRecovery:
+    """The documented recovery contract: a rejection never moves the tracker,
+    so the stream re-synchronises the moment the expected chunk arrives."""
+
+    def test_next_in_order_chunk_is_accepted_after_a_gap_rejection(self):
+        tracker = SequenceTracker()
+        tracker.validate(0)
+        with pytest.raises(OutOfOrderChunkError):
+            tracker.validate(5)
+        # The rejection left the tracker exactly where chunk 0 put it...
+        assert tracker.expected == 1 and tracker.last_seq == 0
+        # ...so the retransmitted in-order chunk is accepted immediately.
+        assert tracker.validate(1) == 1
+        assert tracker.expected == 2
+
+    def test_next_in_order_chunk_is_accepted_after_a_duplicate_rejection(self):
+        tracker = SequenceTracker()
+        tracker.validate(0)
+        tracker.validate(1)
+        with pytest.raises(DuplicateChunkError):
+            tracker.validate(0)
+        assert tracker.expected == 2 and tracker.last_seq == 1
+        assert tracker.validate(2) == 2
+
+    def test_a_storm_of_bad_chunks_never_poisons_recovery(self):
+        tracker = SequenceTracker()
+        tracker.validate(0)
+        for bad in (7, 3, 0, 29, 0, 2):
+            with pytest.raises((DuplicateChunkError, OutOfOrderChunkError)):
+                tracker.validate(bad)
+            assert tracker.expected == 1  # unmoved through the whole storm
+        assert tracker.validate(1) == 1
+
+    @given(
+        prefix=st.integers(0, 10),
+        bad=st.lists(st.integers(0, 40), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rejections_never_move_the_tracker(self, prefix, bad):
+        tracker = SequenceTracker()
+        for seq in range(prefix):
+            tracker.validate(seq)
+        for seq in bad:
+            if seq == prefix:
+                continue  # only non-expected sequence numbers are rejections
+            with pytest.raises((DuplicateChunkError, OutOfOrderChunkError)):
+                tracker.validate(seq)
+            assert tracker.expected == prefix
+        assert tracker.validate(prefix) == prefix
+
+    def test_monitor_stream_resynchronises_after_rejected_frames(self):
+        monitor = StreamingMonitor(0, FS)
+        chunk = np.zeros(128)
+        monitor.push(chunk, seq=0)
+        with pytest.raises(OutOfOrderChunkError):
+            monitor.push(chunk, seq=3)
+        with pytest.raises(OutOfOrderChunkError):
+            monitor.push(chunk, seq=2)
+        # The transport retransmits from the gap: the stream picks up exactly
+        # where it left off and every sample lands once.
+        monitor.push(chunk, seq=1)
+        monitor.push(chunk, seq=2)
+        monitor.push(chunk, seq=3)
+        assert monitor.last_seq == 3
+        assert monitor.time_seen_s == pytest.approx(4 * chunk.size / FS)
 
 
 class TestMonitorSequenceIntegration:

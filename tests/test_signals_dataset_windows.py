@@ -18,7 +18,9 @@ class TestGenerateCohort:
         assert small_cohort.n_seizures == TEST_COHORT_PARAMS.total_seizures
 
     def test_total_duration(self, small_cohort):
-        expected_hours = TEST_COHORT_PARAMS.n_sessions * TEST_COHORT_PARAMS.session_duration_s / 3600.0
+        expected_hours = (
+            TEST_COHORT_PARAMS.n_sessions * TEST_COHORT_PARAMS.session_duration_s / 3600.0
+        )
         assert small_cohort.total_duration_hours == pytest.approx(expected_hours)
 
     def test_recordings_have_beats_and_amplitudes(self, small_cohort):
@@ -41,7 +43,9 @@ class TestGenerateCohort:
             assert 0.2 <= patient.rsa_response <= 1.0
 
     def test_deterministic_given_seed(self):
-        params = CohortParams(n_patients=2, n_sessions=2, session_duration_s=1200.0, total_seizures=2, seed=99)
+        params = CohortParams(
+            n_patients=2, n_sessions=2, session_duration_s=1200.0, total_seizures=2, seed=99
+        )
         a = generate_cohort(params)
         b = generate_cohort(params)
         assert np.allclose(a.recordings[0].beat_times_s, b.recordings[0].beat_times_s)
@@ -52,7 +56,12 @@ class TestGenerateCohort:
 
     def test_render_ecg_produces_waveform(self):
         params = CohortParams(
-            n_patients=1, n_sessions=1, session_duration_s=900.0, total_seizures=1, seed=5, render_ecg=True
+            n_patients=1,
+            n_sessions=1,
+            session_duration_s=900.0,
+            total_seizures=1,
+            seed=5,
+            render_ecg=True,
         )
         cohort = generate_cohort(params)
         recording = cohort.recordings[0]

@@ -33,10 +33,18 @@ class TestModulatedRAmplitudes:
     def test_modulation_depth_scales(self, short_session):
         _, respiration, series, _ = short_session
         weak = modulated_r_amplitudes(
-            series.beat_times_s, respiration, np.random.default_rng(0), edr_modulation=0.02, amplitude_jitter=0.0
+            series.beat_times_s,
+            respiration,
+            np.random.default_rng(0),
+            edr_modulation=0.02,
+            amplitude_jitter=0.0,
         )
         strong = modulated_r_amplitudes(
-            series.beat_times_s, respiration, np.random.default_rng(0), edr_modulation=0.3, amplitude_jitter=0.0
+            series.beat_times_s,
+            respiration,
+            np.random.default_rng(0),
+            edr_modulation=0.3,
+            amplitude_jitter=0.0,
         )
         assert np.std(strong) > np.std(weak)
 
@@ -51,14 +59,18 @@ class TestSynthesizeECG:
     def test_r_peaks_dominate_signal(self, short_session):
         duration, respiration, series, _ = short_session
         params = ECGWaveformParams(noise_mv=0.0, baseline_wander_mv=0.0)
-        ecg = synthesize_ecg(series.beat_times_s, duration, respiration, np.random.default_rng(1), params)
+        ecg = synthesize_ecg(
+            series.beat_times_s, duration, respiration, np.random.default_rng(1), params
+        )
         # The maximum of the trace should be close to the R amplitude (~1 mV).
         assert 0.7 < ecg.ecg_mv.max() < 1.6
 
     def test_signal_energy_near_beats(self, short_session):
         duration, respiration, series, _ = short_session
         params = ECGWaveformParams(noise_mv=0.0, baseline_wander_mv=0.0)
-        ecg = synthesize_ecg(series.beat_times_s, duration, respiration, np.random.default_rng(1), params)
+        ecg = synthesize_ecg(
+            series.beat_times_s, duration, respiration, np.random.default_rng(1), params
+        )
         beat = series.beat_times_s[10]
         idx = int(beat * ecg.fs)
         window = ecg.ecg_mv[max(idx - 3, 0) : idx + 4]
@@ -72,6 +84,8 @@ class TestSynthesizeECG:
     def test_custom_sampling_rate(self, short_session):
         duration, respiration, series, _ = short_session
         params = ECGWaveformParams(fs=64.0)
-        ecg = synthesize_ecg(series.beat_times_s, duration, respiration, np.random.default_rng(1), params)
+        ecg = synthesize_ecg(
+            series.beat_times_s, duration, respiration, np.random.default_rng(1), params
+        )
         assert ecg.fs == 64.0
         assert ecg.ecg_mv.size == int(np.ceil(duration * 64.0)) + 1

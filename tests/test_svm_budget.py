@@ -5,7 +5,7 @@ import pytest
 
 from repro.svm.budget import BudgetParams, budget_training_set, train_budgeted_svm
 from repro.svm.kernels import PolynomialKernel
-from repro.svm.model import SVMTrainParams, train_svm
+from repro.svm.model import train_svm
 
 
 class TestBudgetTrainingSet:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.quant import QuantizationConfig, QuantizedSVM
 from repro.serving import (
     IngestGateway,
+    ModelRegistry,
     MonitorFleet,
     PendingWindow,
     ShardedFleet,
@@ -50,6 +51,12 @@ SHARDED_PATIENTS = 128
 SHARDED_WINDOWS = 8192
 SHARDED_SHARDS = 8
 FS = 128.0
+
+#: Heterogeneous-registry workload: 128 patients spread over four distinct
+#: fixed-point design points (bit-width space), deep pending queue.
+HET_PATIENTS = 128
+HET_WINDOWS = 4096
+HET_CONFIGS = ((9, 15), (12, 18), (8, 12), (10, 16))
 
 #: Gateway workload: a fleet of nodes pushing ~8-second frames over TCP.
 GATEWAY_PATIENTS = 32
@@ -219,6 +226,96 @@ def test_bench_sharded_fleet_drain(benchmark, experiment_data):
     # paths see the same machine conditions), best-of-N filters scheduling
     # hiccups, and GC is parked outside the timed regions.
     assert n / t_sharded >= n / t_single
+
+
+def _measure_heterogeneous(shared, registry, pending, repeats=7):
+    """Best-of-N drain time, homogeneous vs heterogeneous, interleaved reps.
+
+    Same methodology as :func:`_measure_sharded`: allocator warm-up, the two
+    paths timed back to back in every rep so machine noise hits both, GC
+    parked outside the timed regions.
+    """
+    for _ in range(50):
+        _warm = np.empty(1 << 21)
+        del _warm
+    homo_fleet = MonitorFleet(shared, FS)
+    het_fleet = MonitorFleet(registry, FS)
+    t_homo = t_het = float("inf")
+    homo_decisions = het_decisions = None
+    for _ in range(repeats):
+        elapsed, homo_decisions = _timed_drain(homo_fleet, pending, sort=False)
+        t_homo = min(t_homo, elapsed)
+        elapsed, het_decisions = _timed_drain(het_fleet, pending, sort=False)
+        t_het = min(t_het, elapsed)
+    return t_homo, homo_decisions, t_het, het_decisions
+
+
+def test_bench_heterogeneous_registry_drain(benchmark, experiment_data):
+    """Heterogeneous (4 design points, 128 patients) vs homogeneous drain.
+
+    The group-by-model drain must not give up batching: windows are
+    classified in one vectorised call per model group (four int64 pipeline
+    runs of ~1/4 batch each instead of one full-batch run), so the
+    heterogeneous fleet is required to hold >= 0.8x the homogeneous
+    windows/s over the identical pending queue — and every patient's
+    decisions must match the model the registry assigns them, in the exact
+    arrival order of the homogeneous drain.
+    """
+    features = experiment_data.features
+    model = train_svm(features.X, features.y)
+    backends = [
+        QuantizedSVM(
+            model, QuantizationConfig(feature_bits=fbits, coeff_bits=cbits)
+        ).as_backend(name="q%d/%d" % (fbits, cbits))
+        for fbits, cbits in HET_CONFIGS
+    ]
+    registry = ModelRegistry(
+        models={pid: backends[pid % len(backends)] for pid in range(HET_PATIENTS)}
+    )
+
+    reps = -(-HET_WINDOWS // features.X.shape[0])
+    X = np.tile(features.X, (reps, 1))[:HET_WINDOWS]
+    pending = [
+        PendingWindow(
+            patient_id=i % HET_PATIENTS,
+            start_s=180.0 * (i // HET_PATIENTS),
+            end_s=180.0 * (i // HET_PATIENTS) + 180.0,
+            n_beats=200,
+            features=X[i],
+        )
+        for i in range(HET_WINDOWS)
+    ]
+
+    t_homo, homo_decisions, t_het, het_decisions = run_once(
+        benchmark, _measure_heterogeneous, backends[0], registry, pending
+    )
+
+    n = len(pending)
+    print()
+    print(
+        "heterogeneous drain       : %d windows, %d patients, %d design points"
+        % (n, HET_PATIENTS, len(backends))
+    )
+    print("homogeneous drain         : %8.0f windows/s" % (n / t_homo))
+    print(
+        "group-by-model drain      : %8.0f windows/s  (%.2fx)"
+        % (n / t_het, t_homo / t_het)
+    )
+
+    # Order parity: the grouped drain emits the queue's arrival order, i.e.
+    # exactly the homogeneous drain's decision sequence.
+    assert [(d.patient_id, d.start_s) for d in het_decisions] == [
+        (d.patient_id, d.start_s) for d in homo_decisions
+    ]
+    # Model parity: patients assigned the homogeneous model get bit-identical
+    # decisions from the heterogeneous drain.
+    assert [d for d in het_decisions if d.patient_id % len(backends) == 0] == [
+        d for d in homo_decisions if d.patient_id % len(backends) == 0
+    ]
+    assert all(d.usable for d in het_decisions)
+
+    # Acceptance bar: grouping costs at most 20% of the drain throughput.
+    assert n / t_het >= 0.8 * (n / t_homo)
 
 
 def _gateway_frames():

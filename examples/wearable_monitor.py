@@ -1,31 +1,33 @@
 #!/usr/bin/env python3
-"""Wearable-monitor walkthrough: a sharded fleet of streaming monitors.
+"""Wearable-monitor walkthrough: a heterogeneous, sharded monitoring fleet.
 
 The two other examples start from pre-extracted feature matrices.  This one
 exercises the *full* online signal path of Figure 1 of the paper at fleet
-scale, the way a backend receiving framed chunks from sixteen Wireless Body
-Sensor Nodes would, on top of the :mod:`repro.serving` engine:
+scale — and the paper's actual premise: every patient runs their own
+*tailored* SVM design point.  On top of the :mod:`repro.serving` engine:
 
 1. synthesise raw single-lead ECG traces for one monitored session per
    patient (the remaining sessions form the training data),
-2. train a quadratic SVM and quantise it to the paper's 9/15-bit fixed-point
-   design point,
+2. pick four design points of the combined optimisation flow (the 64-bit
+   float reference, the paper's 9/15-bit point, an SV-budgeted 12/18-bit
+   point and a feature-reduced 8/12-bit point) and build a
+   :class:`~repro.serving.registry.ModelRegistry` straight from them —
+   one trained/quantised backend per distinct configuration, each patient
+   mapped to their point,
 3. frame every ~30-second ECG chunk in the versioned binary wire format
    (float32 payload, CRC-protected, per-patient sequence numbers — see
    :mod:`repro.serving.wire`),
 4. *push* the frames the way real nodes do: every patient opens its own TCP
-   connection to an :class:`~repro.serving.ingest.IngestGateway` and writes
-   its frame stream over the socket.  The gateway reassembles frames across
-   read boundaries (:class:`~repro.serving.wire.StreamDecoder`), absorbs the
-   sixteen concurrent uplinks in per-patient bounded queues, and its pump
-   task feeds a 4-shard :class:`~repro.serving.sharding.ShardedFleet` —
-   consistent hashing routes each patient to a shard, each chunk runs
-   incremental Pan–Tompkins R-peak detection and three-minute window
-   assembly with carry-over state, and a latency/batch
-   :class:`~repro.serving.scheduler.DrainPolicy` decides when the pending
-   windows of all patients are classified in batched fixed-point SVM calls,
-5. print the per-patient alarm summaries next to the expert annotations, and
-6. report the energy the accelerator model attributes to the fleet.
+   connection to an :class:`~repro.serving.ingest.IngestGateway`; the
+   gateway's pump feeds a 4-shard
+   :class:`~repro.serving.sharding.ShardedFleet` whose drains classify the
+   pending windows of all patients in one vectorised call *per model group*
+   (the registry is routing-invariant: a patient's model follows them to
+   whichever shard the hash ring picks),
+5. print the per-patient alarm summaries next to the expert annotations,
+   plus the gateway's per-model drain ledger, and
+6. report the energy each *design point* bills its wearers' accelerators —
+   heterogeneous tailoring is exactly what makes this number per-patient.
 
 Run with:  python examples/wearable_monitor.py
 """
@@ -34,14 +36,16 @@ import asyncio
 
 import numpy as np
 
-from repro.core import hardware_cost
-from repro.features.extractor import extract_cohort_features
+from repro.core import DesignPoint, hardware_cost
+from repro.features.extractor import FeatureMatrix, extract_cohort_features
+from repro.hardware.accelerator import evaluate_accelerator
 from repro.hardware.technology import TECH_40NM
-from repro.quant import QuantizationConfig, QuantizedSVM
+from repro.quant import QuantizedSVMBackend
 from repro.serving import (
     AnyOf,
     ChunkCountPolicy,
     IngestGateway,
+    ModelRegistry,
     PendingWindowPolicy,
     ShardedFleet,
     encode_chunk,
@@ -49,7 +53,6 @@ from repro.serving import (
 from repro.signals.dataset import CohortParams, generate_cohort
 from repro.signals.ecg_model import synthesize_ecg
 from repro.signals.windows import WindowingParams, window_label
-from repro.svm.model import train_svm
 
 #: Monitored fleet size (one wireless node per patient) and shard count.
 N_PATIENTS = 16
@@ -62,6 +65,41 @@ DRAIN_POLICY = AnyOf([PendingWindowPolicy(32), ChunkCountPolicy(64)])
 #: Per-patient gateway queue bound; "block" backpressure propagates to the
 #: nodes through TCP flow control, so no frame is ever lost.
 QUEUE_DEPTH = 8
+
+
+def _point(name, n_features, n_sv, feature_bits, coeff_bits, per_feature=True):
+    """A design point: configuration + the accelerator cost it implies."""
+    report = hardware_cost(
+        n_features=n_features,
+        n_support_vectors=n_sv,
+        feature_bits=feature_bits,
+        coeff_bits=coeff_bits,
+        per_feature_scaling=per_feature,
+        datapath_cap_bits=None if per_feature else max(feature_bits, coeff_bits),
+    )
+    return DesignPoint(
+        name=name,
+        n_features=n_features,
+        n_support_vectors=n_sv,
+        feature_bits=feature_bits,
+        coeff_bits=coeff_bits,
+        sensitivity=float("nan"),
+        specificity=float("nan"),
+        gm=float("nan"),
+        energy_nj=report.energy_nj,
+        area_mm2=report.area_mm2,
+    )
+
+
+#: The four tailored configurations the fleet mixes (patients get point
+#: ``pid % 4``): the float reference, the paper's 9/15-bit point, an
+#: SV-budgeted mid-width point and a feature-reduced aggressive point.
+DESIGN_POINTS = [
+    _point("float64-reference", 53, 48, 64, 64, per_feature=False),
+    _point("paper-9/15", 53, 48, 9, 15),
+    _point("budget24-12/18", 53, 24, 12, 18),
+    _point("lean30f-8/12", 30, 24, 8, 12),
+]
 
 
 async def stream_through_gateway(fleet, frames):
@@ -110,7 +148,13 @@ def main() -> None:
 
     features = extract_cohort_features(cohort)
     train_mask = ~np.isin(features.session_ids, sorted(monitored_sessions))
-    X_train, y_train = features.X[train_mask], features.y[train_mask]
+    train_features = FeatureMatrix(
+        X=features.X[train_mask],
+        y=features.y[train_mask],
+        session_ids=features.session_ids[train_mask],
+        patient_ids=features.patient_ids[train_mask],
+        feature_names=features.feature_names,
+    )
 
     print("Monitored fleet (%d patients):" % len(monitored))
     for patient_id, recording in sorted(monitored.items()):
@@ -127,13 +171,21 @@ def main() -> None:
             )
         )
 
-    # ------------------------------------------------------------- training
-    model = train_svm(X_train, y_train)
-    detector = QuantizedSVM(model, QuantizationConfig(feature_bits=9, coeff_bits=15))
+    # ------------------------------------------- per-patient design points
+    # Each patient runs their own tailored configuration; the registry trains
+    # one backend per distinct design point (feature selection, SV budgeting,
+    # quantisation — the combined flow's stages) and shares it between the
+    # patients assigned to it.
+    assignments = {pid: DESIGN_POINTS[pid % len(DESIGN_POINTS)] for pid in monitored}
+    registry = ModelRegistry.from_design_points(assignments, train_features)
     print(
-        "\nTrained quadratic SVM: %d support vectors, quantised to 9/15 bits"
-        % model.n_support_vectors
+        "\nPer-patient model registry (%d backends, epoch %d):"
+        % (len(registry.backends()), registry.epoch)
     )
+    for point in DESIGN_POINTS:
+        wearers = sorted(pid for pid, p in assignments.items() if p is point)
+        backend = registry.backend_for(wearers[0])
+        print("  %-18s -> %-22s  patients %s" % (point.name, _signature(backend), wearers))
 
     # --------------------------------------- raw ECG -> wire-format frames
     rng = np.random.default_rng(7)
@@ -161,17 +213,19 @@ def main() -> None:
     )
 
     # -------------------- TCP gateway -> sharded streaming + inference
-    fleet = ShardedFleet(detector, fs, n_shards=N_SHARDS, drain_policy=DRAIN_POLICY)
+    fleet = ShardedFleet(registry, fs, n_shards=N_SHARDS, drain_policy=DRAIN_POLICY)
     by_shard = {}
     for patient_id in sorted(monitored):
         by_shard.setdefault(fleet.shard_of(patient_id), []).append(patient_id)
-    print("Consistent-hash shard assignment:")
+    print("Consistent-hash shard assignment (models follow their patients):")
     for shard in sorted(by_shard):
         print("  shard %d <- patients %s" % (shard, by_shard[shard]))
     print("Drain policy: %r" % DRAIN_POLICY)
 
     # Every node pushes its frames over its own TCP connection; the gateway
-    # reassembles, queues and delivers them, polling the drain policy.
+    # reassembles, queues and delivers them, polling the drain policy.  Every
+    # drain classifies the pending windows in one vectorised call per model
+    # group, whatever mix of design points is pending.
     decisions, gateway_stats = asyncio.run(stream_through_gateway(fleet, frames))
     print(
         "Streamed %d frames over %d TCP connections through %d shards;"
@@ -186,6 +240,9 @@ def main() -> None:
             gateway_stats.max_queue_depth,
         )
     )
+    print("  windows classified per model:")
+    for label in sorted(gateway_stats.drained_by_model):
+        print("    %-24s %4d" % (label, gateway_stats.drained_by_model[label]))
     assert gateway_stats.fully_accounted and gateway_stats.frames_delivered == n_frames
 
     # ------------------------------------------------- per-patient timelines
@@ -195,6 +252,7 @@ def main() -> None:
     n_classified = 0
     n_correct = 0
     n_alarms = 0
+    classified_by_patient = {pid: 0 for pid in monitored}
     for patient_id, recording in sorted(monitored.items()):
         events = []
         patient_correct = 0
@@ -223,10 +281,12 @@ def main() -> None:
                 events.append(
                     "    %5.0f - %5.0f s   %s" % (decision.start_s, decision.end_s, status)
                 )
+        classified_by_patient[patient_id] = patient_classified
         print(
-            "  patient %2d: %d/%d windows correct%s"
+            "  patient %2d [%s]: %d/%d windows correct%s"
             % (
                 patient_id,
+                assignments[patient_id].name,
                 patient_correct,
                 patient_classified,
                 "" if events else ", quiet session",
@@ -240,23 +300,63 @@ def main() -> None:
     )
 
     # ----------------------------------------------------------- energy bill
-    report = hardware_cost(
-        n_features=model.n_features,
-        n_support_vectors=model.n_support_vectors,
-        feature_bits=9,
-        coeff_bits=15,
-        per_feature_scaling=True,
-    )
-    # Only windows that actually ran through the classifier draw energy.
-    fleet_energy_uj = report.energy_nj * n_classified / 1000.0
-    monitored_minutes = sum(r.duration_s for r in monitored.values()) / 60.0
+    # Tailoring is what makes the energy bill per-patient: each wearer's
+    # accelerator is sized by their own design point, so the fleet's budget
+    # is the sum of heterogeneous per-window costs.
     print(
-        "\nAccelerator model (%s): %.0f nJ per classification, %.4f mm2"
-        % (TECH_40NM.name, report.energy_nj, report.area_mm2)
+        "\nAccelerator model (%s), as-built per design point:" % TECH_40NM.name
     )
+    fleet_energy_uj = 0.0
+    for point in DESIGN_POINTS:
+        wearers = sorted(pid for pid, p in assignments.items() if p is point)
+        report = _as_built_cost(registry.backend_for(wearers[0]))
+        point_windows = sum(classified_by_patient[pid] for pid in wearers)
+        point_energy_uj = report.energy_nj * point_windows / 1000.0
+        fleet_energy_uj += point_energy_uj
+        print(
+            "  %-18s %7.0f nJ/classification, %6.4f mm2, %3d windows -> %7.2f uJ"
+            % (point.name, report.energy_nj, report.area_mm2, point_windows, point_energy_uj)
+        )
+    monitored_minutes = sum(r.duration_s for r in monitored.values()) / 60.0
     print(
         "Inference energy for %.0f monitored minutes: %.2f uJ (%d classified windows)"
         % (monitored_minutes, fleet_energy_uj, n_classified)
+    )
+
+
+def _signature(backend) -> str:
+    """As-built signature of a backend, e.g. ``q9/15[f=53,sv=41]``.
+
+    The registry labels backends with their design point's *name*; this is
+    the complementary view — what training and quantisation actually built.
+    """
+    if isinstance(backend, QuantizedSVMBackend):
+        config = backend.config
+        return "q%d/%d[f=%d,sv=%d]" % (
+            config.feature_bits,
+            config.coeff_bits,
+            backend.n_features,
+            backend.n_support_vectors,
+        )
+    return "float64[f=%d,sv=%d]" % (backend.n_features, backend.n_support_vectors)
+
+
+def _as_built_cost(backend):
+    """Hardware cost of the accelerator realising a *trained* backend.
+
+    The design points above carry the cost of their nominal configuration;
+    this recomputes it from the backend actually built (the SV budget is an
+    upper bound — training may converge below it).
+    """
+    if isinstance(backend, QuantizedSVMBackend):
+        return evaluate_accelerator(backend.quantized.accelerator_config(), TECH_40NM)
+    return hardware_cost(
+        n_features=backend.n_features,
+        n_support_vectors=backend.n_support_vectors,
+        feature_bits=64,
+        coeff_bits=64,
+        per_feature_scaling=False,
+        datapath_cap_bits=64,
     )
 
 

@@ -10,7 +10,9 @@ models of :mod:`repro.hardware`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+import math
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 from repro.core.evaluation import CrossValidationResult
@@ -87,6 +89,57 @@ class DesignPoint:
             area_mm2=hardware.area_mm2,
             extras=dict(extras or {}),
         )
+
+    # ------------------------------------------------------------ persistence
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise the design point as a strict (RFC 8259) JSON string.
+
+        The payload is exactly the dataclass fields (``extras`` included), so
+        a sweep's chosen points can be persisted next to its figures and later
+        loaded into a serving :class:`~repro.serving.registry.ModelRegistry`
+        via :meth:`from_json` — see the round-trip test in
+        ``tests/test_serving_registry.py``.  Non-finite metric values (a point
+        built before evaluation has NaN quality figures) are emitted as JSON
+        ``null`` — never as the ``NaN`` literal non-Python parsers reject —
+        and read back as ``nan``.
+        """
+        def encode(value):
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            return value
+
+        payload = {f.name: encode(getattr(self, f.name)) for f in fields(self)}
+        payload["extras"] = {key: encode(value) for key, value in self.extras.items()}
+        return json.dumps(payload, indent=indent, sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DesignPoint":
+        """Reconstruct a design point serialised by :meth:`to_json`."""
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            raise ValueError("design-point JSON must be an object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                "unknown design-point fields: %s" % ", ".join(sorted(unknown))
+            )
+        missing = known - set(data) - {"extras"}
+        if missing:
+            raise ValueError(
+                "missing design-point fields: %s" % ", ".join(sorted(missing))
+            )
+        decoded = {
+            name: float("nan") if value is None and name != "extras" else value
+            for name, value in data.items()
+        }
+        extras = decoded.get("extras")
+        if extras is not None:
+            decoded["extras"] = {
+                key: float("nan") if value is None else value
+                for key, value in extras.items()
+            }
+        return cls(**decoded)
 
     # -------------------------------------------------------------- ratios
     def energy_gain_over(self, baseline: "DesignPoint") -> float:

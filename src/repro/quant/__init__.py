@@ -31,6 +31,7 @@ from repro.quant.ranges import (
     global_range_exponent,
 )
 from repro.quant.quantized_model import QuantizationConfig, QuantizedSVM
+from repro.quant.backend import QuantizedSVMBackend
 
 __all__ = [
     "quantize_columns",
@@ -44,4 +45,5 @@ __all__ = [
     "coefficient_range_exponent",
     "QuantizationConfig",
     "QuantizedSVM",
+    "QuantizedSVMBackend",
 ]

@@ -192,6 +192,19 @@ class QuantizedSVM:
             labels = np.asarray([1 if v >= 0 else -1 for v in acc], dtype=int)
         return scores, labels
 
+    def as_backend(self, feature_indices=None, name: Optional[str] = None):
+        """Wrap this pipeline as a serving-layer inference backend.
+
+        The adapter (:class:`~repro.quant.backend.QuantizedSVMBackend`)
+        selects the design point's ``feature_indices`` columns from the
+        fleet's full-width window vectors before quantisation, so tailored
+        per-patient pipelines can share one
+        :class:`~repro.serving.registry.ModelRegistry`.
+        """
+        from repro.quant.backend import QuantizedSVMBackend
+
+        return QuantizedSVMBackend(self, feature_indices=feature_indices, name=name)
+
     def accelerator_config(self) -> AcceleratorConfig:
         """Hardware design point matching this functional model."""
         return AcceleratorConfig(

@@ -45,6 +45,14 @@ bursts in per-patient bounded queues (block / shed-oldest / reject
 backpressure) and feeds the fleet through a drain task — decisions stay
 identical to the synchronous loop (``tests/test_serving_ingest.py``).
 
+*Which model* classifies each patient is a
+:class:`~repro.serving.registry.ModelRegistry` decision: both fleet classes
+accept either one shared classifier or a registry of per-patient tailored
+design points (feature subset, SV budget, bit widths — buildable straight
+from :mod:`repro.core` combined-flow :class:`~repro.core.design_point.DesignPoint`
+outputs) with hot-swap epochs, and the drain stays batched by grouping
+pending windows per model (``tests/test_serving_registry.py``).
+
 Cross-cutting pieces: :mod:`repro.serving.wire` frames ECG chunks for
 transport (versioned binary format, CRC, per-patient sequence numbers) and
 :mod:`repro.serving.scheduler` decides *when* fleets classify their queued
@@ -73,6 +81,13 @@ from repro.serving.scheduler import (
     LatencyPolicy,
     PendingWindowPolicy,
 )
+from repro.serving.registry import (
+    InferenceBackend,
+    ModelRegistry,
+    backend_from_design_point,
+    backend_label,
+    classify_grouped,
+)
 from repro.serving.sharding import HashRing, ShardDrainError, ShardedFleet
 from repro.serving.wire import (
     DuplicateChunkError,
@@ -96,7 +111,12 @@ __all__ = [
     "ShardDrainError",
     "HashRing",
     "classify_windows",
+    "classify_grouped",
     "decision_sort_key",
+    "InferenceBackend",
+    "ModelRegistry",
+    "backend_from_design_point",
+    "backend_label",
     "DrainPolicy",
     "DrainStats",
     "ChunkCountPolicy",

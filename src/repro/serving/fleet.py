@@ -4,11 +4,19 @@ A server receiving ECG chunks from many body sensor nodes should not run one
 SVM evaluation per window: the per-call Python and quantisation overhead
 dominates at fleet scale.  :class:`MonitorFleet` keeps one
 :class:`~repro.serving.streaming.StreamingMonitor` per patient, accumulates
-the windows they complete and, on :meth:`MonitorFleet.drain`, classifies *all*
-pending windows from *all* patients with a single vectorised
-``decision_function`` / ``predict`` pair — on the fixed-point model this is
-one int64 matrix pipeline for the whole batch, bit-identical to the
-per-window loop (see ``tests/test_serving.py``).
+the windows they complete and, on :meth:`MonitorFleet.drain`, classifies the
+pending windows of *all* patients in one vectorised call per model group —
+on the fixed-point models this is one int64 matrix pipeline per group for
+the whole batch, bit-identical to the per-window loop (see
+``tests/test_serving.py``).
+
+Which model classifies whom is a
+:class:`~repro.serving.registry.ModelRegistry` decision: a fleet built from
+a bare classifier serves every patient with it (one group, the pre-registry
+behaviour, decision-for-decision), while a fleet built from a registry
+serves each patient their *tailored* design point — the paper's per-patient
+feature sets, SV budgets and bit widths — without giving up batching
+(``tests/test_serving_registry.py``).
 
 *When* to drain is a pluggable :class:`~repro.serving.scheduler.DrainPolicy`
 (chunk-count, queue-size or wall-clock-latency triggered); the fleet
@@ -29,12 +37,12 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional
 import numpy as np
 
 from repro.dsp.peaks import PanTompkinsParams
+from repro.serving.registry import ModelRegistry, classify_grouped
 from repro.serving.scheduler import ChunkCountPolicy, DrainPolicy, DrainStats
 from repro.serving.streaming import (
     PendingWindow,
     StreamingMonitor,
     WindowDecision,
-    classify_windows,
 )
 from repro.serving.wire import decode_chunk_checked
 from repro.signals.windows import WindowingParams
@@ -109,8 +117,14 @@ class MonitorFleet:
     Parameters
     ----------
     classifier:
-        Shared :class:`~repro.svm.model.SVMModel` or
-        :class:`~repro.quant.quantized_model.QuantizedSVM`.
+        Either a shared backend (:class:`~repro.svm.model.SVMModel`,
+        :class:`~repro.quant.quantized_model.QuantizedSVM` or any
+        :class:`~repro.serving.registry.InferenceBackend`) serving every
+        patient, or a :class:`~repro.serving.registry.ModelRegistry` mapping
+        patients to their tailored backends (with an optional default
+        fallback).  A bare backend is wrapped as
+        ``ModelRegistry(default=classifier)``, so the two forms behave
+        identically for a homogeneous fleet.
     fs:
         Sampling frequency of the incoming ECG streams (Hz).
     windowing / detector_params:
@@ -142,7 +156,10 @@ class MonitorFleet:
         auto_register: bool = True,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
-        self.classifier = classifier
+        if isinstance(classifier, ModelRegistry):
+            self.registry = classifier
+        else:
+            self.registry = ModelRegistry(default=classifier)
         self.fs = float(fs)
         self.windowing = windowing
         self.detector_params = detector_params
@@ -153,6 +170,27 @@ class MonitorFleet:
         self._pending: List[PendingWindow] = []
         self._chunks_since_drain = 0
         self._oldest_pending_t: Optional[float] = None
+
+    # --------------------------------------------------------------- models
+    @property
+    def classifier(self):
+        """The registry's default backend (the shared model of a homogeneous
+        fleet); ``None`` when the registry is strict per-patient only."""
+        return self.registry.default
+
+    def register_model(self, patient_id: int, backend) -> int:
+        """Install (or hot-swap) one patient's tailored backend.
+
+        Delegates to :meth:`ModelRegistry.register
+        <repro.serving.registry.ModelRegistry.register>`: the swap is
+        atomic, bumps the registry epoch (returned) and takes effect at the
+        very next drain — queued windows are classified by the *new* model.
+        """
+        return self.registry.register(patient_id, backend)
+
+    def model_label_for(self, patient_id: int) -> str:
+        """Stats label of the backend serving ``patient_id``."""
+        return self.registry.label_for(patient_id)
 
     # ------------------------------------------------------------ membership
     @property
@@ -185,6 +223,15 @@ class MonitorFleet:
 
     def monitor(self, patient_id: int) -> StreamingMonitor:
         return self._monitors[int(patient_id)]
+
+    def missing_patients(self, patient_ids: Iterable[int]) -> List[int]:
+        """Ids from ``patient_ids`` with no registered monitor.
+
+        One-call membership probe for routing layers: the sharded fleet's
+        strict-mode ``enqueue`` validates a whole replay batch with a single
+        round-trip per shard instead of one ``has_patient`` call per id.
+        """
+        return sorted({int(p) for p in patient_ids} - set(self._monitors))
 
     def has_patient(self, patient_id: int) -> bool:
         return int(patient_id) in self._monitors
@@ -233,8 +280,24 @@ class MonitorFleet:
         This is the replay / offload entry point: windows featurised
         elsewhere (an edge node, a recorded session, a benchmark) join the
         same batched classification path as live streams.
+
+        Unknown patients follow the same ``auto_register`` contract as
+        :meth:`push`: with ``auto_register=False`` a window for a patient
+        that was never :meth:`add_patient`-ed raises :class:`KeyError`
+        *before anything is queued* (replayed windows are just as subject to
+        routing bugs as live chunks).  With the default ``auto_register=True``
+        no monitor is created — replayed windows carry their features
+        already, so there is no DSP state to host.
         """
-        self._queue(list(windows))
+        windows = list(windows)
+        if not self.auto_register:
+            for window in windows:
+                if int(window.patient_id) not in self._monitors:
+                    raise KeyError(
+                        "unknown patient %d (auto_register=False; call add_patient first)"
+                        % int(window.patient_id)
+                    )
+        self._queue(windows)
         return len(self._pending)
 
     def finish(self, patient_id: int | None = None) -> int:
@@ -279,14 +342,21 @@ class MonitorFleet:
         return self._drain(stats)
 
     def drain(self) -> List[WindowDecision]:
-        """Classify every pending window in one batched SVM call."""
+        """Classify every pending window, one batched SVM call per model group.
+
+        Windows are grouped by the backend the registry resolves for their
+        patient and every group is classified with a single vectorised call;
+        decisions come back in the queue's arrival order regardless of the
+        grouping (see :func:`~repro.serving.registry.classify_grouped`).
+        With a single shared model this is exactly one batched call.
+        """
         return self._drain(self.stats())
 
     def _drain(self, stats: DrainStats) -> List[WindowDecision]:
         # Classify BEFORE popping the queue: if the classifier raises, every
         # window stays pending and the drain can be retried — a failed drain
         # must never lose seizure-alarm windows.
-        decisions = classify_windows(self.classifier, self._pending)
+        decisions = classify_grouped(self.registry.backend_for, self._pending)
         self._pending = []
         self._chunks_since_drain = 0
         self._oldest_pending_t = None

@@ -53,8 +53,8 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Mapping, Optional
 
 from repro.serving.fleet import decision_sort_key
 from repro.serving.scheduler import DrainPolicy
@@ -129,6 +129,11 @@ class GatewayStats:
     drains: int
     #: Seconds since the gateway started (0.0 before :meth:`IngestGateway.start`).
     uptime_s: float
+    #: Window decisions per model label (the registry's per-backend
+    #: ``describe()`` signature) — the observability half of a heterogeneous
+    #: fleet: which design points are actually doing the classifying.  Empty
+    #: when the fleet does not expose ``model_label_for``.
+    drained_by_model: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def frames_per_s(self) -> float:
@@ -254,6 +259,7 @@ class IngestGateway:
         self._queued = 0
         self._max_queue_depth = 0
         self._drains = 0
+        self._drained_by_model: Dict[str, int] = {}
 
     # -------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -517,6 +523,22 @@ class IngestGateway:
 
     def _emit(self, decisions: List[WindowDecision]) -> None:
         self.decisions.extend(decisions)
+        label_for = getattr(self.fleet, "model_label_for", None)
+        if label_for is None or not decisions:
+            return
+        # Per-model drain counts: resolved *now*, against the registry state
+        # that just classified these windows (a later hot-swap must not
+        # retroactively re-attribute decisions).
+        labels: Dict[int, str] = {}
+        for decision in decisions:
+            label = labels.get(decision.patient_id)
+            if label is None:
+                try:
+                    label = label_for(decision.patient_id)
+                except KeyError:  # pragma: no cover - registry raced empty
+                    label = "<unmodelled>"
+                labels[decision.patient_id] = label
+            self._drained_by_model[label] = self._drained_by_model.get(label, 0) + 1
 
     def _poll_drain(self) -> None:
         decisions = self.fleet.maybe_drain()
@@ -566,4 +588,5 @@ class IngestGateway:
             decisions=len(self.decisions),
             drains=self._drains,
             uptime_s=uptime,
+            drained_by_model=dict(self._drained_by_model),
         )

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.dsp.peaks import PanTompkinsParams
 from repro.serving.fleet import MonitorFleet, decision_sort_key, run_streams
+from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import DrainPolicy, DrainStats, merge_stats
 from repro.serving.streaming import PendingWindow, WindowDecision
 from repro.serving.wire import decode_chunk_checked
@@ -209,6 +210,11 @@ def _shard_worker(conn, classifier, fs, windowing, detector_params, auto_registe
 class _ProcessBackend:
     """One dedicated worker process per shard, request/response over pipes."""
 
+    #: Workers hold pickled *replicas* of shared state (the model registry),
+    #: so registry mutations must be forwarded explicitly — unlike the
+    #: in-process backends, whose shards share the parent's objects.
+    replicated = True
+
     def __init__(
         self,
         n_shards: int,
@@ -321,17 +327,25 @@ class ShardedFleet:
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError("unknown backend %r (choose from %s)" % (backend, _BACKENDS))
-        self.classifier = classifier
+        if isinstance(classifier, ModelRegistry):
+            self.registry = classifier
+        else:
+            self.registry = ModelRegistry(default=classifier)
         self.fs = float(fs)
         self.n_shards = int(n_shards)
         self.backend_name = backend
         self.drain_policy = drain_policy
         self.auto_register = bool(auto_register)
         self.ring = HashRing(self.n_shards, replicas=replicas)
+        # The registry is routing-invariant: every shard classifies with the
+        # *same* patient->model mapping, so a patient's tailored model follows
+        # them wherever the ring places them (including across reshards).
+        # In-process shards share this very object; worker processes receive
+        # pickled replicas (kept in sync by register_model).
         if backend == "process":
             self._backend = _ProcessBackend(
                 self.n_shards,
-                classifier,
+                self.registry,
                 self.fs,
                 windowing,
                 detector_params,
@@ -340,7 +354,7 @@ class ShardedFleet:
         else:
             shards = [
                 MonitorFleet(
-                    classifier,
+                    self.registry,
                     self.fs,
                     windowing=windowing,
                     detector_params=detector_params,
@@ -360,6 +374,32 @@ class ShardedFleet:
         self._chunks_since_drain = 0
         self._oldest_pending_t: Optional[float] = None
         self._known_patients: set = set()
+
+    # --------------------------------------------------------------- models
+    @property
+    def classifier(self):
+        """The registry's default backend (the shared model of a homogeneous
+        fleet); ``None`` when the registry is strict per-patient only."""
+        return self.registry.default
+
+    def register_model(self, patient_id: int, backend) -> int:
+        """Install (or hot-swap) one patient's tailored backend, fleet-wide.
+
+        The in-process executor backends share the parent's
+        :class:`~repro.serving.registry.ModelRegistry`, so a single registry
+        mutation is visible to every shard; the process backend holds
+        per-worker replicas, which are updated first so a concurrent drain
+        never sees the worker and the parent disagree for long.  Returns the
+        parent registry's new epoch.  The swap takes effect at the next
+        drain, wherever the ring routes the patient.
+        """
+        if getattr(self._backend, "replicated", False):
+            self._backend.call_all("register_model", int(patient_id), backend)
+        return self.registry.register(patient_id, backend)
+
+    def model_label_for(self, patient_id: int) -> str:
+        """Stats label of the backend serving ``patient_id``."""
+        return self.registry.label_for(patient_id)
 
     # ------------------------------------------------------------ membership
     def shard_of(self, patient_id: int) -> int:
@@ -416,10 +456,28 @@ class ShardedFleet:
         return self.push(chunk.patient_id, chunk.samples, seq=chunk.seq)
 
     def enqueue(self, windows: Iterable[PendingWindow]) -> int:
-        """Queue externally featurised windows on their patients' shards."""
+        """Queue externally featurised windows on their patients' shards.
+
+        Follows the ``auto_register`` contract of :meth:`push`: with
+        ``auto_register=False``, a window for an unregistered patient raises
+        :class:`KeyError` *before any shard queues anything* — a replayed
+        window with a stray id is the same routing bug as a stray chunk.
+        """
         by_shard: Dict[int, List[PendingWindow]] = {}
         for window in windows:
             by_shard.setdefault(self.shard_of(window.patient_id), []).append(window)
+        if not self.auto_register:
+            # One membership probe per shard (not per patient): under the
+            # process backend every call is a pipe round-trip.
+            for shard, group in by_shard.items():
+                missing = self._backend.call(
+                    shard, "missing_patients", [w.patient_id for w in group]
+                )
+                if missing:
+                    raise KeyError(
+                        "unknown patient %d (auto_register=False; call "
+                        "add_patient first)" % missing[0]
+                    )
         for shard, group in by_shard.items():
             self._note_pending(shard, self._backend.call(shard, "enqueue", group))
         return sum(self._pending_by_shard.values())

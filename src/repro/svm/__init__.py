@@ -28,6 +28,7 @@ from repro.svm.scaling import StandardScaler
 from repro.svm.smo import SMOParams, SMOResult, smo_solve
 from repro.svm.model import SVMModel, SVMTrainParams, train_svm
 from repro.svm.budget import BudgetParams, budget_training_set, train_budgeted_svm
+from repro.svm.backend import FloatSVMBackend, project_features
 
 __all__ = [
     "Kernel",
@@ -45,4 +46,6 @@ __all__ = [
     "BudgetParams",
     "budget_training_set",
     "train_budgeted_svm",
+    "FloatSVMBackend",
+    "project_features",
 ]

@@ -108,6 +108,19 @@ class SVMModel:
         scores = self.decision_function(X)
         return scores, np.where(scores >= 0.0, 1, -1).astype(int)
 
+    def as_backend(self, feature_indices=None, name: Optional[str] = None):
+        """Wrap this model as a serving-layer inference backend.
+
+        The adapter (:class:`~repro.svm.backend.FloatSVMBackend`) selects the
+        model's ``feature_indices`` columns from the fleet's full-width window
+        vectors before evaluation, so a feature-reduced design point can live
+        in the same :class:`~repro.serving.registry.ModelRegistry` as
+        full-width ones.
+        """
+        from repro.svm.backend import FloatSVMBackend
+
+        return FloatSVMBackend(self, feature_indices=feature_indices, name=name)
+
     def scaled_support_vectors(self) -> np.ndarray:
         """The support vectors in the (scaled) space seen by the kernel.
 

@@ -294,6 +294,34 @@ class TestAutoRegisterContract:
         lax.push(9, np.zeros(128))
         assert lax.patient_ids == [9]
 
+    def test_strict_fleet_rejects_enqueue_for_unknown_patient(self, quantized_detector):
+        """Regression: ``enqueue`` used to bypass the ``auto_register=False``
+        contract — replayed windows for a stray id slid straight into the
+        batched drain.  It must raise the same documented ``KeyError`` as
+        ``push``, before anything is queued."""
+        fleet = MonitorFleet(quantized_detector, FS, auto_register=False)
+        fleet.add_patient(1)
+        with pytest.raises(KeyError, match="auto_register=False"):
+            fleet.enqueue([_window(1), _window(9)])
+        assert fleet.pending_count == 0  # nothing queued by the failed call
+        fleet.enqueue([_window(1)])
+        assert fleet.pending_count == 1
+
+    def test_strict_sharded_fleet_rejects_enqueue_for_unknown_patient(
+        self, quantized_detector
+    ):
+        from repro.serving import ShardedFleet
+
+        strict = ShardedFleet(quantized_detector, FS, n_shards=2, auto_register=False)
+        strict.add_patient(1)
+        with pytest.raises(KeyError, match="auto_register=False"):
+            strict.enqueue([_window(1), _window(9)])
+        assert strict.pending_count == 0
+        assert strict.enqueue([_window(1)]) == 1
+        # The lax fleet keeps accepting replayed windows for unknown ids.
+        lax = MonitorFleet(quantized_detector, FS)
+        assert lax.enqueue([_window(9)]) == 1
+
 
 def _window(patient_id=0, start_s=0.0):
     return PendingWindow(

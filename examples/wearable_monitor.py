@@ -24,9 +24,13 @@ scale — and the paper's actual premise: every patient runs their own
    pending windows of all patients in one vectorised call *per model group*
    (the registry is routing-invariant: a patient's model follows them to
    whichever shard the hash ring picks),
-5. print the per-patient alarm summaries next to the expert annotations,
+5. scale the fleet out **live** from 4 to 8 shards halfway through the run:
+   the gateway quiesces exactly the patients the hash ring reassigns,
+   migrates their full monitor state between shards and resumes delivery —
+   zero frames or decisions lost, nodes never reconnect,
+6. print the per-patient alarm summaries next to the expert annotations,
    plus the gateway's per-model drain ledger, and
-6. report the energy each *design point* bills its wearers' accelerators —
+7. report the energy each *design point* bills its wearers' accelerators —
    heterogeneous tailoring is exactly what makes this number per-patient.
 
 Run with:  python examples/wearable_monitor.py
@@ -57,6 +61,12 @@ from repro.signals.windows import WindowingParams, window_label
 #: Monitored fleet size (one wireless node per patient) and shard count.
 N_PATIENTS = 16
 N_SHARDS = 4
+#: Mid-run the fleet scales out live to this many shards: once every node
+#: has pushed half its frames, the gateway quiesces exactly the patients the
+#: hash ring reassigns, migrates their monitor state (DSP carry-over,
+#: partial windows, sequence positions, queued windows) and resumes — with
+#: zero decision loss, pinned by the ledger assertions below.
+RESHARD_TO = 8
 #: Seconds of ECG per transmitted chunk (~30 s at 128 Hz).
 CHUNK_SAMPLES = 3840
 #: Drain whenever 32 windows are pending, or every 64 received frames,
@@ -102,28 +112,57 @@ DESIGN_POINTS = [
 ]
 
 
-async def stream_through_gateway(fleet, frames):
+async def stream_through_gateway(fleet, frames, reshard_to=None):
     """Push every node's frames through a real localhost TCP socket.
 
     One connection per wireless node, all sixteen concurrent — the gateway
     multiplexes them, applies per-patient backpressure and drives the
-    sharded fleet's drain policy.  Returns the canonically ordered decisions
-    and the gateway's frame ledger.
+    sharded fleet's drain policy.  With ``reshard_to``, the fleet scales out
+    *live* once every node has transmitted half its frames: the sensors
+    pause mid-stream (every monitor holds partial-window DSP state), the
+    gateway migrates the reassigned patients, and transmission resumes
+    against the new topology — no node ever reconnects or retransmits.
+    Returns the canonically ordered decisions, the gateway's frame ledger
+    and the migrated ``{patient: (old_shard, new_shard)}`` mapping.
     """
     gateway = IngestGateway(fleet, queue_depth=QUEUE_DEPTH, backpressure="block")
     host, port = await gateway.serve()
 
+    resume = asyncio.Event()
+    if reshard_to is None:
+        resume.set()
+
     async def node(patient_id, node_frames):
         _, writer = await asyncio.open_connection(host, port)
-        for frame in node_frames:
+        mid = len(node_frames) // 2
+        for seq, frame in enumerate(node_frames):
+            if seq == mid:
+                # Pause mid-transmission: every monitor now holds partial-
+                # window DSP state, which is exactly what must migrate.
+                await resume.wait()
             writer.write(frame)
             await writer.drain()
         writer.close()
         await writer.wait_closed()
 
-    await asyncio.gather(*[node(pid, f) for pid, f in sorted(frames.items())])
+    async def scale_out():
+        if reshard_to is None:
+            return {}
+        # Writer-side progress means nothing (sockets buffer); wait until the
+        # *fleet* has consumed every frame sent before the pause points, so
+        # the reshard migrates genuinely mid-stream monitors.
+        target = sum(len(node_frames) // 2 for node_frames in frames.values())
+        while gateway.stats().frames_delivered < target:
+            await asyncio.sleep(0.01)
+        migrated = await gateway.reshard(reshard_to)
+        resume.set()
+        return migrated
+
+    results = await asyncio.gather(
+        scale_out(), *[node(pid, f) for pid, f in sorted(frames.items())]
+    )
     decisions = await gateway.stop()
-    return decisions, gateway.stats()
+    return decisions, gateway.stats(), results[0]
 
 
 def main() -> None:
@@ -225,11 +264,25 @@ def main() -> None:
     # Every node pushes its frames over its own TCP connection; the gateway
     # reassembles, queues and delivers them, polling the drain policy.  Every
     # drain classifies the pending windows in one vectorised call per model
-    # group, whatever mix of design points is pending.
-    decisions, gateway_stats = asyncio.run(stream_through_gateway(fleet, frames))
+    # group, whatever mix of design points is pending.  Halfway through, the
+    # fleet scales out live from 4 to 8 shards.
+    decisions, gateway_stats, migrated = asyncio.run(
+        stream_through_gateway(fleet, frames, reshard_to=RESHARD_TO)
+    )
+    print(
+        "Live reshard %d -> %d shards mid-run: %d patients migrated"
+        " (monitor state, partial windows and queued frames followed them):"
+        % (N_SHARDS, RESHARD_TO, len(migrated))
+    )
+    by_new_shard = {}
+    for patient_id, (_, new_shard) in sorted(migrated.items()):
+        by_new_shard.setdefault(new_shard, []).append(patient_id)
+    for shard in sorted(by_new_shard):
+        print("  shard %d <- patients %s" % (shard, by_new_shard[shard]))
+    assert gateway_stats.reshards == 1
     print(
         "Streamed %d frames over %d TCP connections through %d shards;"
-        % (gateway_stats.frames_delivered, gateway_stats.connections, N_SHARDS)
+        % (gateway_stats.frames_delivered, gateway_stats.connections, fleet.n_shards)
     )
     print(
         "  %d batched drains (final flush included), %.0f frames/s through the"

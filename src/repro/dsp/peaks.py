@@ -18,14 +18,19 @@ Two entry points are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.dsp.filters import apply_fir, bandpass_fir, moving_average
 
-__all__ = ["PanTompkinsParams", "detect_r_peaks", "StreamingPeakDetector"]
+__all__ = [
+    "PanTompkinsParams",
+    "PeakDetectorState",
+    "detect_r_peaks",
+    "StreamingPeakDetector",
+]
 
 
 @dataclass
@@ -154,6 +159,42 @@ def detect_r_peaks(
     return final, final / fs
 
 
+@dataclass(frozen=True, eq=False)
+class PeakDetectorState:
+    """Picklable carry-over state of a :class:`StreamingPeakDetector`.
+
+    Everything the detector needs to continue a stream exactly where it left
+    off: the raw-sample context buffer, the finalisation frontier, the
+    adaptive threshold level and the refractory bookkeeping.  Captured by
+    :meth:`StreamingPeakDetector.snapshot` and revived by
+    :meth:`StreamingPeakDetector.from_snapshot` — the migration primitive of
+    the serving layer's live resharding.
+    """
+
+    fs: float
+    params: PanTompkinsParams
+    buffer: np.ndarray
+    buffer_start: int
+    n_seen: int
+    finalized: int
+    level: Optional[float]
+    last_peak: int
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PeakDetectorState):
+            return NotImplemented
+        return (
+            self.fs == other.fs
+            and self.params == other.params
+            and np.array_equal(self.buffer, other.buffer)
+            and self.buffer_start == other.buffer_start
+            and self.n_seen == other.n_seen
+            and self.finalized == other.finalized
+            and self.level == other.level
+            and self.last_peak == other.last_peak
+        )
+
+
 class StreamingPeakDetector:
     """Incremental Pan–Tompkins detection over arbitrary sample chunks.
 
@@ -213,6 +254,40 @@ class StreamingPeakDetector:
         """Stream time up to which peak detection is final (no new peaks can
         appear before it)."""
         return self._finalized / self.fs
+
+    def snapshot(self) -> PeakDetectorState:
+        """Capture the full carry-over state as a picklable value object.
+
+        The snapshot owns copies of the mutable pieces, so the detector can
+        keep streaming (or be discarded) without invalidating it.
+        """
+        return PeakDetectorState(
+            fs=self.fs,
+            params=replace(self.params),
+            buffer=self._buffer.copy(),
+            buffer_start=self._buffer_start,
+            n_seen=self._n_seen,
+            finalized=self._finalized,
+            level=self._level,
+            last_peak=self._last_peak,
+        )
+
+    @classmethod
+    def from_snapshot(cls, state: PeakDetectorState) -> "StreamingPeakDetector":
+        """Revive a detector mid-stream: byte-for-byte the snapshotted state.
+
+        The revived detector emits exactly the peaks the original would have
+        emitted for any continuation of the stream — the invariant the
+        serving layer's churn parity harness pins.
+        """
+        detector = cls(state.fs, replace(state.params))
+        detector._buffer = np.array(state.buffer, dtype=float, copy=True)
+        detector._buffer_start = int(state.buffer_start)
+        detector._n_seen = int(state.n_seen)
+        detector._finalized = int(state.finalized)
+        detector._level = None if state.level is None else float(state.level)
+        detector._last_peak = int(state.last_peak)
+        return detector
 
     def process(self, chunk: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Push a chunk of raw ECG samples; return newly finalised peaks.

@@ -61,6 +61,8 @@ windows (chunk-count, queue-size or latency-triggered
 """
 
 from repro.serving.streaming import (
+    MONITOR_STATE_VERSION,
+    MonitorState,
     PendingWindow,
     StreamingMonitor,
     WindowDecision,
@@ -103,6 +105,8 @@ from repro.serving.wire import (
 )
 
 __all__ = [
+    "MONITOR_STATE_VERSION",
+    "MonitorState",
     "PendingWindow",
     "WindowDecision",
     "StreamingMonitor",

@@ -32,6 +32,7 @@ A fleet is one *shard* of the horizontally scaled
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
@@ -40,6 +41,8 @@ from repro.dsp.peaks import PanTompkinsParams
 from repro.serving.registry import ModelRegistry, classify_grouped
 from repro.serving.scheduler import ChunkCountPolicy, DrainPolicy, DrainStats
 from repro.serving.streaming import (
+    MONITOR_STATE_VERSION,
+    MonitorState,
     PendingWindow,
     StreamingMonitor,
     WindowDecision,
@@ -235,6 +238,85 @@ class MonitorFleet:
 
     def has_patient(self, patient_id: int) -> bool:
         return int(patient_id) in self._monitors
+
+    # ------------------------------------------------------------- migration
+    def export_patient(self, patient_id: int) -> MonitorState:
+        """Atomically detach one patient: monitor state plus queued windows.
+
+        Returns a :class:`~repro.serving.streaming.MonitorState` carrying the
+        patient's full DSP carry-over *and* every one of their
+        :class:`~repro.serving.streaming.PendingWindow` entries, removed from
+        this fleet's queue in their arrival order.  After the call the fleet
+        holds nothing of the patient — the state is the single authoritative
+        copy, ready for :meth:`import_patient` on another fleet (possibly in
+        another process: the state pickles).
+
+        A patient known only through :meth:`enqueue` (windows but no monitor)
+        exports a pending-only state.  Raises :class:`KeyError` when the
+        fleet knows nothing of the patient at all.
+        """
+        patient_id = int(patient_id)
+        monitor = self._monitors.pop(patient_id, None)
+        kept: List[PendingWindow] = []
+        moved: List[PendingWindow] = []
+        for window in self._pending:
+            (moved if int(window.patient_id) == patient_id else kept).append(window)
+        if monitor is None and not moved:
+            raise KeyError(
+                "patient %d has no monitor and no pending windows here" % patient_id
+            )
+        self._pending = kept
+        if not self._pending:
+            self._oldest_pending_t = None
+        if monitor is not None:
+            state = monitor.snapshot()
+        else:
+            state = MonitorState(
+                version=MONITOR_STATE_VERSION,
+                patient_id=patient_id,
+                fs=self.fs,
+                detector=None,
+                windower=None,
+                sequence=None,
+                n_windows=0,
+                n_usable=0,
+            )
+        return replace(state, pending=tuple(moved))
+
+    def import_patient(self, state: MonitorState) -> int:
+        """Atomically attach a migrated patient: monitor plus queued windows.
+
+        The inverse of :meth:`export_patient`: revives the monitor (when the
+        state carries one) and appends the state's pending windows to this
+        fleet's queue, so the very next drain classifies them exactly as the
+        source fleet would have.  Import is an explicit ownership transfer —
+        it bypasses the ``auto_register`` contract the same way
+        :meth:`add_patient` does.
+
+        Returns the fleet's new pending-window count (like :meth:`push`).
+        Raises :class:`KeyError` if the patient is already monitored here and
+        :class:`ValueError` on a version or sampling-frequency mismatch —
+        both *before* any state is mutated.
+        """
+        if not isinstance(state, MonitorState):
+            raise ValueError("import_patient expects a MonitorState")
+        if state.version != MONITOR_STATE_VERSION:
+            raise ValueError(
+                "monitor state version %d is not the supported version %d"
+                % (state.version, MONITOR_STATE_VERSION)
+            )
+        patient_id = int(state.patient_id)
+        if patient_id in self._monitors:
+            raise KeyError("patient %d is already monitored" % patient_id)
+        if state.has_monitor and state.fs != self.fs:
+            raise ValueError(
+                "state fs %g Hz does not match the fleet's %g Hz" % (state.fs, self.fs)
+            )
+        if state.has_monitor:
+            self._monitors[patient_id] = StreamingMonitor.from_snapshot(state)
+        if state.pending:
+            self._queue(list(state.pending))
+        return len(self._pending)
 
     def _monitor_for_push(self, patient_id: int) -> StreamingMonitor:
         patient_id = int(patient_id)

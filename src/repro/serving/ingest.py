@@ -129,6 +129,8 @@ class GatewayStats:
     drains: int
     #: Seconds since the gateway started (0.0 before :meth:`IngestGateway.start`).
     uptime_s: float
+    #: Live reshards completed through :meth:`IngestGateway.reshard`.
+    reshards: int = 0
     #: Window decisions per model label (the registry's per-backend
     #: ``describe()`` signature) — the observability half of a heterogeneous
     #: fleet: which design points are actually doing the classifying.  Empty
@@ -260,6 +262,11 @@ class IngestGateway:
         self._max_queue_depth = 0
         self._drains = 0
         self._drained_by_model: Dict[str, int] = {}
+        #: Patients whose delivery is paused while their monitor state
+        #: migrates between shards (see :meth:`reshard`).  Their frames keep
+        #: arriving and queue under the normal backpressure policies.
+        self._quiesced: set = set()
+        self._reshards = 0
 
     # -------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -496,30 +503,89 @@ class IngestGateway:
             except (ConnectionError, OSError):
                 pass
 
+    # ------------------------------------------------------------- resharding
+    async def reshard(self, n_shards: int) -> Dict[int, tuple]:
+        """Live-reshard the fleet underneath the gateway, zero frames lost.
+
+        Exactly the patients the new ring reassigns are *quiesced*: the pump
+        skips their queues (their arrival-order markers stay put, so
+        per-patient FIFO delivery resumes exactly where it paused) while
+        their frames keep arriving and buffer under the normal backpressure
+        policies — ``block`` holds their nodes via TCP flow control, the
+        lossy policies shed/reject with the usual accounting.  Every other
+        patient streams on undisturbed.  Once in-flight pump work has
+        settled, the fleet migrates the frozen patients' monitor state
+        (:meth:`ShardedFleet.reshard
+        <repro.serving.sharding.ShardedFleet.reshard>`), delivery resumes,
+        and the :class:`GatewayStats` ledger invariant holds at every
+        suspension point throughout (quiesced frames are simply ``queued``).
+
+        Returns the migrated ``{patient_id: (old_shard, new_shard)}``
+        mapping.  Must not race :meth:`stop`: a shutdown flush that runs
+        inside the quiesce window would leave the frozen patients' frames
+        queued (never lost — a later :meth:`stop` delivers them).
+        """
+        preview = getattr(self.fleet, "preview_reshard", None)
+        if preview is None or not hasattr(self.fleet, "reshard"):
+            raise TypeError(
+                "fleet %r does not support live resharding" % type(self.fleet).__name__
+            )
+        moving = set(preview(n_shards))
+        self._quiesced |= moving
+        try:
+            # One loop pass: whatever delivery step the pump is mid-way
+            # through completes before any monitor detaches; from here on it
+            # can only deliver non-quiesced patients' frames.
+            await asyncio.sleep(0)
+            moved = self.fleet.reshard(n_shards)
+        finally:
+            self._quiesced -= moving
+            if self._order:
+                self._data.set()  # wake the pump for the thawed queues
+        self._reshards += 1
+        return moved
+
     # ------------------------------------------------------------------ pump
     def _deliver_one(self) -> bool:
-        """Move the oldest queued frame into the fleet; ``False`` when idle."""
-        while self._order:
-            patient_id = self._order.popleft()
-            queue = self._queues[patient_id]
-            if not queue.items:
-                continue  # stale marker left behind by a shed frame
-            chunk = queue.items.popleft()
-            self._queued -= 1
-            if len(queue.items) < self.queue_depth:
-                queue.space.set()
-            try:
-                self.fleet.push(
-                    chunk.patient_id,
-                    chunk.samples,
-                    seq=chunk.seq if self.enforce_seq else None,
-                )
-            except (SequenceError, KeyError):
-                self._frames_errored += 1
-            else:
-                self._frames_delivered += 1
-            return True
-        return False
+        """Move the oldest deliverable queued frame into the fleet.
+
+        Returns ``False`` when nothing is deliverable (idle, or every queued
+        frame belongs to a quiesced patient).  Quiesced patients' markers are
+        skipped *in place* — they keep their position at the front of the
+        global arrival order, so delivery resumes in the exact order it
+        paused when :meth:`reshard` thaws them.
+        """
+        held = []
+        delivered = False
+        try:
+            while self._order:
+                patient_id = self._order.popleft()
+                if patient_id in self._quiesced:
+                    held.append(patient_id)
+                    continue
+                queue = self._queues[patient_id]
+                if not queue.items:
+                    continue  # stale marker left behind by a shed frame
+                chunk = queue.items.popleft()
+                self._queued -= 1
+                if len(queue.items) < self.queue_depth:
+                    queue.space.set()
+                try:
+                    self.fleet.push(
+                        chunk.patient_id,
+                        chunk.samples,
+                        seq=chunk.seq if self.enforce_seq else None,
+                    )
+                except (SequenceError, KeyError):
+                    self._frames_errored += 1
+                else:
+                    self._frames_delivered += 1
+                delivered = True
+                break
+        finally:
+            if held:
+                self._order.extendleft(reversed(held))
+        return delivered
 
     def _emit(self, decisions: List[WindowDecision]) -> None:
         self.decisions.extend(decisions)
@@ -557,7 +623,10 @@ class IngestGateway:
             if self._closing:
                 return
             self._data.clear()
-            if self._order:  # data raced in after the last delivery
+            # Data raced in after the last delivery?  Markers that are all
+            # quiesced do not count: re-looping on them would busy-spin the
+            # event loop for the whole quiesce window of a live reshard.
+            if any(pid not in self._quiesced for pid in self._order):
                 self._data.set()
                 continue
             timeout = self.poll_interval_s if self.fleet.drain_policy is not None else None
@@ -588,5 +657,6 @@ class IngestGateway:
             decisions=len(self.decisions),
             drains=self._drains,
             uptime_s=uptime,
+            reshards=self._reshards,
             drained_by_model=dict(self._drained_by_model),
         )

@@ -114,6 +114,29 @@ class HashRing:
         idx = int(np.searchsorted(self._points, np.uint64(point), side="left"))
         return int(self._owners[idx % self._owners.shape[0]])
 
+    def with_n_shards(self, n_shards: int, patient_ids: Iterable[int] = ()) -> tuple:
+        """The ring resized to ``n_shards``, plus the patients that move.
+
+        Returns ``(ring, moved)`` where ``moved`` maps each reassigned
+        patient id to its ``(old_shard, new_shard)`` pair.  This is the
+        consistent-hashing payoff made explicit: a surviving shard's ring
+        points are identical in both rings, so growing N→N+1 reassigns only
+        the ~``1/(N+1)`` of patients claimed by the new shard's points, and
+        shrinking reassigns exactly the removed shard's patients — never a
+        reshuffle between survivors.  ``moved`` is therefore the *complete*
+        migration workload of a live reshard
+        (:meth:`ShardedFleet.reshard`), pinned by
+        ``tests/test_serving_reshard.py``.
+        """
+        ring = HashRing(n_shards, replicas=self.replicas)
+        moved = {}
+        for patient_id in patient_ids:
+            patient_id = int(patient_id)
+            old, new = self.shard_of(patient_id), ring.shard_of(patient_id)
+            if old != new:
+                moved[patient_id] = (old, new)
+        return ring, moved
+
 
 # ---------------------------------------------------------------------------
 # Shard executor backends
@@ -224,20 +247,49 @@ class _ProcessBackend:
         detector_params,
         auto_register: bool,
     ) -> None:
-        ctx = mp.get_context()
+        self._spawn_args = (classifier, fs, windowing, detector_params, auto_register)
         self._conns = []
         self._procs = []
         for _ in range(n_shards):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker,
-                args=(child_conn, classifier, fs, windowing, detector_params, auto_register),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+            self._spawn_one()
+
+    def _spawn_one(self) -> None:
+        ctx = mp.get_context()
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_shard_worker,
+            args=(child_conn,) + self._spawn_args,
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns.append(parent_conn)
+        self._procs.append(proc)
+
+    def resize(self, n_shards: int) -> None:
+        """Grow or shrink the worker pool to ``n_shards`` processes.
+
+        Removed workers (always the highest indices — surviving shard
+        indices keep their processes and therefore their monitors) are shut
+        down gracefully; added workers start empty, holding a pickled
+        replica of the *current* model registry (the first spawn-args
+        element is the parent's registry object, pickled at spawn time, so a
+        late-born worker is born in sync).  The caller must have migrated
+        every patient off a worker before shrinking past it.
+        """
+        while len(self._conns) > n_shards:
+            conn = self._conns.pop()
+            proc = self._procs.pop()
+            try:
+                conn.send(None)
+                conn.close()
+            except OSError:
+                pass
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+        while len(self._conns) < n_shards:
+            self._spawn_one()
 
     def call(self, shard: int, method: str, *args, **kwargs):
         conn = self._conns[shard]
@@ -336,7 +388,10 @@ class ShardedFleet:
         self.backend_name = backend
         self.drain_policy = drain_policy
         self.auto_register = bool(auto_register)
+        self.windowing = windowing
+        self.detector_params = detector_params
         self.ring = HashRing(self.n_shards, replicas=replicas)
+        self._clock = clock
         # The registry is routing-invariant: every shard classifies with the
         # *same* patient->model mapping, so a patient's tailored model follows
         # them wherever the ring places them (including across reshards).
@@ -352,21 +407,10 @@ class ShardedFleet:
                 self.auto_register,
             )
         else:
-            shards = [
-                MonitorFleet(
-                    self.registry,
-                    self.fs,
-                    windowing=windowing,
-                    detector_params=detector_params,
-                    auto_register=self.auto_register,
-                    clock=clock,
-                )
-                for _ in range(self.n_shards)
-            ]
+            shards = [self._make_shard() for _ in range(self.n_shards)]
             backend_cls = _ThreadBackend if backend == "thread" else _SerialBackend
             self._backend = backend_cls(shards)
         self._shard_of: Dict[int, int] = {}
-        self._clock = clock
         # Local queue bookkeeping, kept exact from the shards' return values:
         # windows only enter or leave a shard's queue through calls routed
         # here, so drain-policy decisions never need a cross-shard sweep.
@@ -374,6 +418,17 @@ class ShardedFleet:
         self._chunks_since_drain = 0
         self._oldest_pending_t: Optional[float] = None
         self._known_patients: set = set()
+
+    def _make_shard(self) -> MonitorFleet:
+        """One empty in-process shard fleet with this fleet's configuration."""
+        return MonitorFleet(
+            self.registry,
+            self.fs,
+            windowing=self.windowing,
+            detector_params=self.detector_params,
+            auto_register=self.auto_register,
+            clock=self._clock,
+        )
 
     # --------------------------------------------------------------- models
     @property
@@ -480,6 +535,9 @@ class ShardedFleet:
                     )
         for shard, group in by_shard.items():
             self._note_pending(shard, self._backend.call(shard, "enqueue", group))
+            # Queued windows make a patient migratable state: a reshard must
+            # know to carry them along even if no chunk ever arrived.
+            self._known_patients.update(int(w.patient_id) for w in group)
         return sum(self._pending_by_shard.values())
 
     def finish(self, patient_id: int | None = None) -> int:
@@ -501,6 +559,112 @@ class ShardedFleet:
                 self._oldest_pending_t = self._clock()
         else:
             self._oldest_pending_t = None
+
+    # ------------------------------------------------------------ resharding
+    def preview_reshard(self, n_shards: int) -> Dict[int, tuple]:
+        """The migration :meth:`reshard` to ``n_shards`` would perform.
+
+        Maps each patient that would move to their ``(old_shard, new_shard)``
+        pair, without touching anything — the quiesce set an
+        :class:`~repro.serving.ingest.IngestGateway` freezes before starting
+        the real migration.
+        """
+        n_shards = int(n_shards)
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if n_shards == self.n_shards:
+            return {}
+        _, moved = self.ring.with_n_shards(n_shards, sorted(self._known_patients))
+        return moved
+
+    def reshard(self, n_shards: int) -> Dict[int, tuple]:
+        """Change the shard count live, with zero-loss state migration.
+
+        Only the minimally reassigned patients move (the
+        :meth:`HashRing.with_n_shards` set): each is atomically detached from
+        its old shard — DSP carry-over, partial windows, sequence position
+        *and* queued pending windows, as one
+        :class:`~repro.serving.streaming.MonitorState` — and attached to its
+        new one.  Under the process backend the states travel over the worker
+        pipes; new workers are born with a replica of the current
+        :class:`~repro.serving.registry.ModelRegistry`, and the in-process
+        backends keep sharing the parent's, so every patient's tailored model
+        follows them unchanged.
+
+        The headline guarantee (pinned by ``tests/test_serving_reshard.py``):
+        for any schedule of reshards interleaved with traffic, the fleet's
+        decisions are bit-identical to a never-resharded fleet over the same
+        pushes and drains.
+
+        Returns the migrated mapping ``{patient_id: (old_shard, new_shard)}``.
+        Not safe to call concurrently with pushes or drains from other
+        threads — quiesce the callers first (the ingest gateway does exactly
+        that for the moving patients).
+        """
+        n_shards = int(n_shards)
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if n_shards == self.n_shards:
+            return {}
+        new_ring, moved = self.ring.with_n_shards(n_shards, sorted(self._known_patients))
+        # 1. Detach every moving patient while all old shards are still up.
+        states = []
+        for patient_id in sorted(moved):
+            old_shard, new_shard = moved[patient_id]
+            try:
+                state = self._backend.call(old_shard, "export_patient", patient_id)
+            except KeyError:
+                # Known only through since-drained enqueued windows: the ring
+                # reassigns their *routing*, but there is no state to move.
+                continue
+            if state.pending:
+                self._pending_by_shard[old_shard] = self._pending_by_shard.get(
+                    old_shard, 0
+                ) - len(state.pending)
+            states.append((new_shard, state))
+        # 2. Resize the executor topology.  Surviving shard indices keep
+        #    their fleet objects / worker processes (their ring points are
+        #    unchanged, so their patients never noticed anything).
+        self._resize_backend(n_shards)
+        self.ring = new_ring
+        self.n_shards = n_shards
+        self._shard_of = {pid: shard for pid, (_, shard) in moved.items()}
+        for shard in [s for s in self._pending_by_shard if s >= n_shards]:
+            leftover = self._pending_by_shard.pop(shard)
+            if leftover:
+                raise RuntimeError(
+                    "removed shard %d still held %d pending windows" % (shard, leftover)
+                )
+        # 3. Attach the migrated states to their new owners.
+        for new_shard, state in states:
+            self._note_pending(new_shard, self._backend.call(new_shard, "import_patient", state))
+        if sum(self._pending_by_shard.values()) == 0:
+            self._oldest_pending_t = None
+        return moved
+
+    def add_shard(self) -> Dict[int, tuple]:
+        """Grow the fleet by one shard; returns the migrated patients."""
+        return self.reshard(self.n_shards + 1)
+
+    def remove_shard(self) -> Dict[int, tuple]:
+        """Shrink the fleet by one shard (the highest index); returns the
+        migrated patients.  A fleet cannot shrink below one shard."""
+        if self.n_shards <= 1:
+            raise ValueError("cannot remove the last shard")
+        return self.reshard(self.n_shards - 1)
+
+    def _resize_backend(self, n_shards: int) -> None:
+        if self.backend_name == "process":
+            self._backend.resize(n_shards)
+            return
+        shards = list(self._backend.shards)
+        if n_shards < len(shards):
+            shards = shards[:n_shards]
+        else:
+            shards.extend(self._make_shard() for _ in range(n_shards - len(shards)))
+        self._backend.close()  # retire the old thread pool, if any
+        backend_cls = _ThreadBackend if self.backend_name == "thread" else _SerialBackend
+        self._backend = backend_cls(shards)
 
     # -------------------------------------------------------------- draining
     def stats(self) -> DrainStats:

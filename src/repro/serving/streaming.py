@@ -13,16 +13,28 @@ immediately with the monitor's own classifier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dsp.peaks import PanTompkinsParams, StreamingPeakDetector
+from repro.dsp.peaks import PanTompkinsParams, PeakDetectorState, StreamingPeakDetector
 from repro.features.extractor import FeatureExtractor
 from repro.serving.wire import SequenceTracker
-from repro.signals.windows import StreamingWindower, WindowingParams
+from repro.signals.windows import StreamingWindower, WindowerState, WindowingParams
 
-__all__ = ["PendingWindow", "WindowDecision", "StreamingMonitor", "classify_windows"]
+__all__ = [
+    "MONITOR_STATE_VERSION",
+    "MonitorState",
+    "PendingWindow",
+    "WindowDecision",
+    "StreamingMonitor",
+    "classify_windows",
+]
+
+#: Version stamp of :class:`MonitorState`; bumped on any incompatible change
+#: to the snapshot layout, so a restore can never silently misread a state
+#: produced by a different serving build.
+MONITOR_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -55,6 +67,77 @@ class WindowDecision:
     score: Optional[float]
     #: ``True`` when the window was classified as seizure (+1).
     alarm: bool
+
+
+def _pending_equal(a: Sequence[PendingWindow], b: Sequence[PendingWindow]) -> bool:
+    if len(a) != len(b):
+        return False
+    for wa, wb in zip(a, b):
+        if (
+            wa.patient_id != wb.patient_id
+            or wa.start_s != wb.start_s
+            or wa.end_s != wb.end_s
+            or wa.n_beats != wb.n_beats
+            or wa.usable != wb.usable
+        ):
+            return False
+        if wa.usable and not np.array_equal(wa.features, wb.features):
+            return False
+    return True
+
+
+@dataclass(frozen=True, eq=False)
+class MonitorState:
+    """Versioned, picklable snapshot of one patient's full serving state.
+
+    This is the unit of live migration: everything that must follow a
+    patient when their monitor moves between fleet shards (or hosts) —
+
+    * the :class:`~repro.dsp.peaks.StreamingPeakDetector` carry-over
+      (:class:`~repro.dsp.peaks.PeakDetectorState`),
+    * the :class:`~repro.signals.windows.StreamingWindower` partial buffers
+      (:class:`~repro.signals.windows.WindowerState`),
+    * the :class:`~repro.serving.wire.SequenceTracker` position, and
+    * the already-featurised :class:`PendingWindow` queue entries awaiting a
+      classifier verdict (filled in by
+      :meth:`~repro.serving.fleet.MonitorFleet.export_patient`; empty on a
+      bare :meth:`StreamingMonitor.snapshot`).
+
+    ``detector`` / ``windower`` / ``sequence`` are ``None`` for a patient
+    known only through enqueued windows (no live monitor).  The state is a
+    plain pickle-friendly value object, so the process-per-shard executor
+    can ship it over its worker pipes unchanged.
+    """
+
+    version: int
+    patient_id: int
+    fs: float
+    detector: Optional[PeakDetectorState]
+    windower: Optional[WindowerState]
+    sequence: Optional[Tuple[int, int]]
+    n_windows: int
+    n_usable: int
+    pending: Tuple[PendingWindow, ...] = ()
+
+    @property
+    def has_monitor(self) -> bool:
+        """Whether the state carries live DSP state (vs pending-only)."""
+        return self.detector is not None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MonitorState):
+            return NotImplemented
+        return (
+            self.version == other.version
+            and self.patient_id == other.patient_id
+            and self.fs == other.fs
+            and self.detector == other.detector
+            and self.windower == other.windower
+            and self.sequence == other.sequence
+            and self.n_windows == other.n_windows
+            and self.n_usable == other.n_usable
+            and _pending_equal(self.pending, other.pending)
+        )
 
 
 def classify_windows(classifier, pending: Sequence[PendingWindow]) -> List[WindowDecision]:
@@ -158,6 +241,61 @@ class StreamingMonitor:
     def last_seq(self) -> Optional[int]:
         """Sequence number of the last chunk accepted with an explicit ``seq``."""
         return self._sequence.last_seq
+
+    def snapshot(self) -> MonitorState:
+        """Capture the monitor's complete per-patient state.
+
+        The snapshot is a self-contained, picklable :class:`MonitorState`
+        (DSP carry-over, partial windows, sequence position, window
+        counters) that owns copies of every mutable buffer — the monitor
+        keeps streaming without invalidating it.  ``pending`` is empty here:
+        completed windows live on the owning fleet's queue and are attached
+        by :meth:`MonitorFleet.export_patient
+        <repro.serving.fleet.MonitorFleet.export_patient>`.
+        """
+        return MonitorState(
+            version=MONITOR_STATE_VERSION,
+            patient_id=self.patient_id,
+            fs=self.fs,
+            detector=self._detector.snapshot(),
+            windower=self._windower.snapshot(),
+            sequence=self._sequence.snapshot(),
+            n_windows=self._n_windows,
+            n_usable=self._n_usable,
+        )
+
+    @classmethod
+    def from_snapshot(cls, state: MonitorState, classifier=None) -> "StreamingMonitor":
+        """Revive a monitor from a :class:`MonitorState`, mid-stream.
+
+        The revived monitor is behaviourally indistinguishable from the one
+        that was snapshotted: for any continuation of the chunk stream it
+        emits bit-identical windows and enforces the same next-expected
+        sequence number.  Raises :class:`ValueError` on a version mismatch
+        or a pending-only state (no DSP state to revive).
+        """
+        if state.version != MONITOR_STATE_VERSION:
+            raise ValueError(
+                "monitor state version %d is not the supported version %d"
+                % (state.version, MONITOR_STATE_VERSION)
+            )
+        if state.detector is None or state.windower is None or state.sequence is None:
+            raise ValueError(
+                "state of patient %d carries no monitor DSP state" % state.patient_id
+            )
+        monitor = cls(
+            state.patient_id,
+            state.fs,
+            classifier=classifier,
+            windowing=state.windower.params,
+            detector_params=state.detector.params,
+        )
+        monitor._detector = StreamingPeakDetector.from_snapshot(state.detector)
+        monitor._windower = StreamingWindower.from_snapshot(state.windower)
+        monitor._sequence = SequenceTracker.from_snapshot(state.sequence)
+        monitor._n_windows = int(state.n_windows)
+        monitor._n_usable = int(state.n_usable)
+        return monitor
 
     def push(self, chunk: np.ndarray, seq: int | None = None) -> List[PendingWindow]:
         """Consume one chunk of raw ECG; return newly completed windows.

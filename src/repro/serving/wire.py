@@ -445,6 +445,27 @@ class SequenceTracker:
         """The last accepted sequence number (``None`` before the first)."""
         return self._expected - 1 if self._expected > self._first else None
 
+    def snapshot(self) -> tuple[int, int]:
+        """The tracker's position as a picklable ``(first_seq, expected)`` pair.
+
+        Part of a patient's migratable monitor state: a tracker revived with
+        :meth:`from_snapshot` enforces exactly the same next-expected chunk,
+        so a live reshard can never open a duplicate/gap window in a stream.
+        """
+        return (self._first, self._expected)
+
+    @classmethod
+    def from_snapshot(cls, state: tuple[int, int]) -> "SequenceTracker":
+        """Revive a tracker at a snapshotted position."""
+        first, expected = state
+        tracker = cls(first)
+        if expected < first:
+            raise ValueError(
+                "expected seq %d precedes first seq %d" % (expected, first)
+            )
+        tracker._expected = int(expected)
+        return tracker
+
     def validate(self, seq: int) -> int:
         """Accept ``seq`` or raise; returns the accepted sequence number."""
         seq = int(seq)

@@ -15,7 +15,7 @@ split by recording session).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Sequence
 
 import numpy as np
@@ -26,6 +26,7 @@ from repro.signals.seizures import Seizure
 __all__ = [
     "Window",
     "WindowingParams",
+    "WindowerState",
     "extract_windows",
     "window_label",
     "BeatWindow",
@@ -142,6 +143,35 @@ class BeatWindow:
         return self.end_s - self.start_s
 
 
+@dataclass(frozen=True, eq=False)
+class WindowerState:
+    """Picklable state of a :class:`StreamingWindower` mid-stream.
+
+    The buffered beats that have not yet closed a window, the start of the
+    next window and the stream clock — everything needed to resume windowing
+    with no window lost, duplicated or shifted.  Captured by
+    :meth:`StreamingWindower.snapshot`, revived by
+    :meth:`StreamingWindower.from_snapshot`.
+    """
+
+    params: WindowingParams
+    beat_times_s: np.ndarray
+    r_amplitudes_mv: np.ndarray
+    window_start_s: float
+    clock_s: float
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, WindowerState):
+            return NotImplemented
+        return (
+            self.params == other.params
+            and np.array_equal(self.beat_times_s, other.beat_times_s)
+            and np.array_equal(self.r_amplitudes_mv, other.r_amplitudes_mv)
+            and self.window_start_s == other.window_start_s
+            and self.clock_s == other.clock_s
+        )
+
+
 class StreamingWindower:
     """Incremental assembly of analysis windows from an incoming beat stream.
 
@@ -179,6 +209,27 @@ class StreamingWindower:
     def window_start_s(self) -> float:
         """Start time of the next window to be emitted."""
         return self._start
+
+    def snapshot(self) -> WindowerState:
+        """Capture the partial-window state as a picklable value object."""
+        return WindowerState(
+            params=replace(self.params),
+            beat_times_s=self._times.copy(),
+            r_amplitudes_mv=self._amps.copy(),
+            window_start_s=self._start,
+            clock_s=self._clock,
+        )
+
+    @classmethod
+    def from_snapshot(cls, state: WindowerState) -> "StreamingWindower":
+        """Revive a windower mid-stream, emitting exactly the windows the
+        original would have emitted for any continuation of the beat stream."""
+        windower = cls(replace(state.params))
+        windower._times = np.array(state.beat_times_s, dtype=float, copy=True)
+        windower._amps = np.array(state.r_amplitudes_mv, dtype=float, copy=True)
+        windower._start = float(state.window_start_s)
+        windower._clock = float(state.clock_s)
+        return windower
 
     def push(
         self, beat_times_s: np.ndarray, r_amplitudes: np.ndarray, now_s: float | None = None

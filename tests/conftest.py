@@ -9,11 +9,29 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
 
 from repro.features.extractor import FeatureMatrix, extract_cohort_features
 from repro.signals.dataset import CohortParams, generate_cohort
 from repro.svm.kernels import PolynomialKernel
 from repro.svm.model import SVMTrainParams, train_svm
+
+# ---------------------------------------------------------------------------
+# Hypothesis profiles.  CI selects "ci" via ``--hypothesis-profile=ci``:
+# derandomised (a red CI run must be reproducible, not a lottery), no
+# deadline (shared runners stall unpredictably) and more examples for every
+# property test that does not cap its own budget.  Tests that *do* pass an
+# explicit ``max_examples`` (the DSP-heavy churn/parity fuzzes) keep their
+# caps and inherit the rest of the profile.
+# ---------------------------------------------------------------------------
+hypothesis_settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.register_profile("dev", deadline=None)
 
 
 #: Small cohort used throughout the test suite: fast to generate, but with the

@@ -1,0 +1,159 @@
+"""Golden-trace regression: the committed trace must classify identically.
+
+The parity suites compare the serving code against *itself* (sharded vs
+single, gateway vs sync loop) — a systematic drift in the DSP, windowing,
+feature extraction or fixed-point pipeline would move reference and
+candidate together and slip through.  This fixture breaks that symmetry: a
+small deterministic ECG trace, a frozen classifier (committed as plain
+arrays — never re-trained) and the expected
+:class:`~repro.serving.streaming.WindowDecision` list all live under
+``tests/data/``, so any change to the numerics anywhere in
+
+    raw ECG → peak detection → windowing → features → quantised SVM
+
+fails loudly against numbers that predate it.  The replay runs the full
+deployment stack — monitor, sharded fleet with a *mid-stream live reshard*,
+and the TCP gateway — pinning that the golden output is invariant under the
+serving topology too.
+
+Regenerate (and review the diff like code) with
+``PYTHONPATH=src python tests/data/make_golden.py``.
+"""
+
+import asyncio
+import json
+import math
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.quant import QuantizationConfig, QuantizedSVM
+from repro.serving import (
+    IngestGateway,
+    MonitorFleet,
+    ShardedFleet,
+    StreamingMonitor,
+    classify_windows,
+    decision_sort_key,
+    encode_chunk,
+)
+from repro.signals.windows import WindowingParams
+from repro.svm.kernels import PolynomialKernel
+from repro.svm.model import SVMModel
+from repro.svm.scaling import StandardScaler
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+#: Replay constants — mirrored by tests/data/make_golden.py.
+WINDOWING = WindowingParams(window_s=60.0, step_s=60.0, min_beats=40)
+
+
+def load_golden_detector() -> QuantizedSVM:
+    """The committed classifier: arrays → SVMModel → 9/15-bit QuantizedSVM."""
+    with np.load(DATA / "golden_model.npz") as data:
+        scaler = StandardScaler()
+        scaler.mean_ = data["scaler_mean"].copy()
+        scaler.scale_ = data["scaler_scale"].copy()
+        model = SVMModel(
+            support_vectors=data["support_vectors"].copy(),
+            dual_coef=data["dual_coef"].copy(),
+            bias=float(data["bias"]),
+            kernel=PolynomialKernel(degree=2),
+            alpha=data["alpha"].copy(),
+            sv_labels=data["sv_labels"].copy(),
+            scaler=scaler,
+        )
+    return QuantizedSVM(model, QuantizationConfig(feature_bits=9, coeff_bits=15))
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with np.load(DATA / "golden_trace.npz") as data:
+        fs = float(data["fs"])
+        chunk_samples = int(data["chunk_samples"])
+        patient_id = int(data["patient_id"])
+        # The wire payload is float32; the DSP consumes float64 — replay
+        # exactly the cast the generator used.
+        ecg = data["ecg_mv"].astype(np.float64)
+    with open(DATA / "golden_decisions.json") as fh:
+        expected = json.load(fh)
+    chunks = [ecg[lo : lo + chunk_samples] for lo in range(0, ecg.size, chunk_samples)]
+    assert len(expected) > 0 and any(d["usable"] for d in expected)
+    return dict(
+        fs=fs,
+        patient_id=patient_id,
+        chunks=chunks,
+        expected=expected,
+        detector=load_golden_detector(),
+    )
+
+
+def _assert_matches_golden(decisions, expected):
+    __tracebackhide__ = True
+    assert len(decisions) == len(expected)
+    for got, want in zip(decisions, expected):
+        assert got.patient_id == want["patient_id"]
+        assert got.start_s == want["start_s"]
+        assert got.end_s == want["end_s"]
+        assert got.n_beats == want["n_beats"], (
+            "beat count drifted in window [%g, %g)" % (want["start_s"], want["end_s"])
+        )
+        assert got.usable == want["usable"]
+        assert got.alarm == want["alarm"]
+        if want["score"] is None:
+            assert got.score is None
+        else:
+            # The fixed-point pipeline has no excuse for even one ULP; the
+            # sub-ULP tolerance only absorbs JSON float round-tripping.
+            assert math.isclose(got.score, want["score"], rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestGoldenTrace:
+    def test_streaming_monitor_matches_golden(self, golden):
+        monitor = StreamingMonitor(golden["patient_id"], golden["fs"], windowing=WINDOWING)
+        pending = []
+        for seq, chunk in enumerate(golden["chunks"]):
+            pending.extend(monitor.push(chunk, seq=seq))
+        pending.extend(monitor.finish())
+        decisions = classify_windows(golden["detector"], pending)
+        _assert_matches_golden(decisions, golden["expected"])
+
+    def test_sharded_fleet_with_midstream_reshard_matches_golden(self, golden):
+        """The golden output is invariant under live fleet churn."""
+        fleet = ShardedFleet(golden["detector"], golden["fs"], n_shards=2, windowing=WINDOWING)
+        decisions = []
+        third = max(1, len(golden["chunks"]) // 3)
+        for seq, chunk in enumerate(golden["chunks"]):
+            fleet.push(golden["patient_id"], chunk, seq=seq)
+            if seq == third:
+                fleet.reshard(3)
+            elif seq == 2 * third:
+                decisions.extend(fleet.drain())
+                fleet.reshard(1)
+        fleet.finish()
+        decisions.extend(fleet.drain())
+        decisions.sort(key=decision_sort_key)
+        _assert_matches_golden(decisions, golden["expected"])
+
+    def test_gateway_replay_matches_golden(self, golden):
+        frames = [
+            encode_chunk(golden["patient_id"], seq, golden["fs"], chunk, dtype=np.float32)
+            for seq, chunk in enumerate(golden["chunks"])
+        ]
+
+        async def run():
+            fleet = MonitorFleet(golden["detector"], golden["fs"], windowing=WINDOWING)
+            gateway = IngestGateway(fleet, queue_depth=4, backpressure="block")
+            host, port = await gateway.serve()
+            _, writer = await asyncio.open_connection(host, port)
+            writer.write(b"".join(frames))
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            decisions = await gateway.stop()
+            return decisions, gateway.stats()
+
+        decisions, stats = asyncio.run(run())
+        assert stats.frames_delivered == len(frames) and stats.fully_accounted
+        _assert_matches_golden(decisions, golden["expected"])

@@ -1,0 +1,33 @@
+"""Invariant linter: AST-based static enforcement of the serving guarantees.
+
+``python -m repro.analysis [paths]`` lints the tree (default: the installed
+``repro`` package's own source) against the project rule set and exits
+non-zero on findings; :func:`run_paths` is the same thing as a library call,
+and ``tests/test_static_analysis.py`` bridges it into tier-1 so a violation
+fails ``pytest`` before any behavioural test gets a chance to miss it.
+
+See :mod:`repro.analysis.framework` for the rule/finding/suppression
+machinery and :mod:`repro.analysis.rules` for what each rule protects.
+Suppress a finding with ``# repro: allow[rule-id]`` on (or directly above)
+the offending line.
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    ModuleSource,
+    Report,
+    Rule,
+    run_paths,
+    run_source,
+)
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "Finding",
+    "ModuleSource",
+    "Report",
+    "Rule",
+    "default_rules",
+    "run_paths",
+    "run_source",
+]

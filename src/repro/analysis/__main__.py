@@ -1,0 +1,65 @@
+"""CLI of the invariant linter: ``python -m repro.analysis [paths...]``.
+
+Exit status 0 means every checked file honours the pinned invariants; 1
+means findings were printed (one ``path:line:col [rule-id] message`` block
+each, with a fix hint); 2 means the invocation itself was bad.  With no
+paths the linter checks the ``repro`` package source it is running from —
+the same default the CI ``static-analysis`` job uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.framework import run_paths
+from repro.analysis.rules import default_rules
+
+
+def _default_target() -> str:
+    """The source tree of the running ``repro`` package."""
+    import repro
+
+    return str(Path(repro.__file__).parent)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically enforce the serving stack's pinned invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package source)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id, what it checks and the invariant it protects",
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(
+                "%s\n  checks:    %s\n  protects:  %s"
+                % (rule.rule_id, rule.description, rule.invariant)
+            )
+        return 0
+
+    paths = args.paths or [_default_target()]
+    try:
+        report = run_paths(paths, rules=rules)
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,258 @@
+"""Core machinery of the invariant linter: rules, findings, suppressions.
+
+The serving stack's headline guarantees — the int-only quantized hot path,
+complete :class:`~repro.serving.streaming.MonitorState` snapshots, the
+always-balanced :class:`~repro.serving.ingest.GatewayStats` ledger, the
+versioned wire format and end-to-end determinism — are behavioural
+invariants.  The test suite exercises them on the paths the tests happen to
+take; this package enforces them *mechanically*, on every code path, from
+the AST alone, before any test runs.
+
+Structure
+---------
+* :class:`Finding` — one violation: rule id, ``file:line:col``, message and
+  a concrete fix hint.
+* :class:`ModuleSource` — a parsed file (text + AST + per-line suppression
+  table), handed to every rule exactly once.
+* :class:`Rule` — the base class.  A rule declares its id, what invariant it
+  protects, and implements :meth:`Rule.check` over one module; rules that
+  need cross-file state can emit extra findings from :meth:`Rule.finalize`.
+* :func:`run_paths` / :func:`run_source` — the programmatic API used by the
+  CLI (``python -m repro.analysis``), by the pytest bridge
+  (``tests/test_static_analysis.py``) and by the fixture-corpus tests.
+
+Suppressions
+------------
+A finding is silenced by a ``# repro: allow[rule-id]`` comment on the
+flagged line or the line directly above it.  ``allow[*]`` silences every
+rule for that line; several ids may be comma-separated.  Suppressions are
+deliberate, reviewable artefacts — the analyzer counts them, and the fixture
+tests pin that they work.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+
+__all__ = [
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "Report",
+    "parse_suppressions",
+    "run_source",
+    "run_paths",
+]
+
+#: ``# repro: allow[int-purity]`` / ``# repro: allow[int-purity, async-safety]``
+_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: A concrete suggestion for making the finding go away *correctly*
+    #: (never "suppress it").
+    hint: str = ""
+
+    def format(self) -> str:
+        text = "%s:%d:%d [%s] %s" % (self.path, self.line, self.col, self.rule_id, self.message)
+        if self.hint:
+            text += "\n    hint: %s" % self.hint
+        return text
+
+
+def parse_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
+    """Per-line ``# repro: allow[...]`` table (1-based line numbers)."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match:
+            ids = frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
+            if ids:
+                table[lineno] = ids
+    return table
+
+
+@dataclass
+class ModuleSource:
+    """One parsed Python file, as seen by every rule."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, text: str, path: str = "<string>") -> "ModuleSource":
+        return cls(
+            path=path,
+            text=text,
+            tree=ast.parse(text, filename=path),
+            suppressions=parse_suppressions(text),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ModuleSource":
+        path = Path(path)
+        return cls.from_text(path.read_text(encoding="utf-8"), path=path.as_posix())
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether a ``# repro: allow[...]`` covers this finding's line."""
+        for lineno in (finding.line, finding.line - 1):
+            ids = self.suppressions.get(lineno)
+            if ids and (finding.rule_id in ids or "*" in ids):
+                return True
+        return False
+
+
+class Rule(ABC):
+    """One mechanical invariant check.
+
+    Subclasses set :attr:`rule_id` (the stable kebab-case name used in
+    suppression comments and CLI output), :attr:`description` and
+    :attr:`invariant` (which pinned serving guarantee the rule protects),
+    then implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    #: The ROADMAP-pinned guarantee this rule mechanises.
+    invariant: str = ""
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        """Fast path-level gate; ``check`` is only called when ``True``."""
+        return True
+
+    @abstractmethod
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        """Yield findings for one module."""
+
+    def finalize(self) -> Iterable[Finding]:
+        """Extra findings after every module was checked (cross-file rules)."""
+        return ()
+
+    def finding(
+        self, module: ModuleSource, node: ast.AST, message: str, hint: str = ""
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=hint,
+        )
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        summary = "%d file(s) checked, %d finding(s), %d suppressed" % (
+            self.files_checked,
+            len(self.findings),
+            self.suppressed,
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _default_rules() -> List[Rule]:
+    # Imported lazily so `framework` has no dependency on the rule modules
+    # (they import it).
+    from repro.analysis.rules import default_rules
+
+    return default_rules()
+
+
+def _check_module(
+    module: ModuleSource, rules: Sequence[Rule]
+) -> tuple[List[Finding], int]:
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if module.is_suppressed(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def run_source(
+    text: str, path: str = "<string>", rules: Optional[Sequence[Rule]] = None
+) -> Report:
+    """Analyze one source string (the fixture-test entry point)."""
+    rules = list(rules) if rules is not None else _default_rules()
+    module = ModuleSource.from_text(text, path=path)
+    findings, suppressed = _check_module(module, rules)
+    for rule in rules:
+        findings.extend(rule.finalize())
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return Report(findings=findings, files_checked=1, suppressed=suppressed)
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen = {}
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise FileNotFoundError("not a Python file or directory: %s" % path)
+        for candidate in candidates:
+            seen[candidate.resolve()] = candidate
+    return sorted(seen.values())
+
+
+def run_paths(
+    paths: Iterable[Union[str, Path]], rules: Optional[Sequence[Rule]] = None
+) -> Report:
+    """Analyze every ``.py`` file under ``paths`` with the given rule set.
+
+    This is the programmatic API: the CLI, the pytest tier-1 bridge and any
+    future pre-commit hook all funnel through here.  Rules are fresh per run
+    (``rules=None`` builds the default set), so cross-file rule state never
+    leaks between runs.
+    """
+    rules = list(rules) if rules is not None else _default_rules()
+    findings: List[Finding] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for file_path in files:
+        module = ModuleSource.from_file(file_path)
+        file_findings, file_suppressed = _check_module(module, rules)
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    for rule in rules:
+        findings.extend(rule.finalize())
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return Report(findings=findings, files_checked=len(files), suppressed=suppressed)

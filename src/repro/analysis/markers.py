@@ -1,0 +1,29 @@
+"""Zero-cost source markers read by the static analyzer.
+
+These decorators change nothing at runtime — they exist so that a guarantee
+lives *next to the code that carries it* and the analyzer can find it from
+the AST alone.  The module is dependency-free on purpose: marking a function
+in :mod:`repro.quant` or :mod:`repro.hardware` must not pull any analyzer
+machinery into the inference import path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["int_only"]
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def int_only(func: F) -> F:
+    """Declare ``func`` part of the integer-only datapath.
+
+    The ``int-purity`` rule of :mod:`repro.analysis` rejects float literals,
+    true division, ``float(...)`` / float-dtype conversions and other
+    float-producing constructs anywhere in the body of a function carrying
+    this marker: the paper's bit-exact fixed-point guarantee means a float
+    creeping into the quantized hot path is a correctness bug, not a style
+    issue.  No runtime behaviour is attached.
+    """
+    return func

@@ -1,0 +1,58 @@
+"""The project-specific rule set of the invariant linter.
+
+Each rule mechanises one pinned serving-stack guarantee (see the module
+docstrings for the mapping to ROADMAP invariants):
+
+========================  ====================================================
+rule id                   protects
+========================  ====================================================
+``int-purity``            bit-exact integer-only quantized hot path
+``snapshot-completeness``  zero-loss MonitorState migration + version guard
+``async-safety``          gateway event-loop liveness + ledger atomicity
+``wire-version``          frame layout pinned to its WIRE_VERSION byte
+``determinism``           replayability (no ambient RNG / wall clock)
+========================  ====================================================
+
+:func:`default_rules` builds one fresh instance of each — rules may carry
+cross-file state, so instances are never shared between runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.framework import Rule
+from repro.analysis.rules.async_safety import GATEWAY_LEDGER_COUNTERS, AsyncSafetyRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.int_purity import IntPurityRule
+from repro.analysis.rules.snapshots import (
+    DEFAULT_SNAPSHOT_REGISTRY,
+    SnapshotCompletenessRule,
+    SnapshotSpec,
+)
+from repro.analysis.rules.wire_version import WIRE_REGISTRY, WireSpec, WireVersionRule
+
+__all__ = [
+    "AsyncSafetyRule",
+    "DeterminismRule",
+    "IntPurityRule",
+    "SnapshotCompletenessRule",
+    "WireVersionRule",
+    "SnapshotSpec",
+    "WireSpec",
+    "DEFAULT_SNAPSHOT_REGISTRY",
+    "WIRE_REGISTRY",
+    "GATEWAY_LEDGER_COUNTERS",
+    "default_rules",
+]
+
+
+def default_rules() -> List[Rule]:
+    """One fresh instance of every project rule (the CLI/CI/pytest set)."""
+    return [
+        IntPurityRule(),
+        SnapshotCompletenessRule(),
+        AsyncSafetyRule(),
+        WireVersionRule(),
+        DeterminismRule(),
+    ]

@@ -1,0 +1,247 @@
+"""``async-safety``: the gateway's event loop and frame ledger stay sound.
+
+:class:`~repro.serving.ingest.IngestGateway` runs every patient's ingestion
+on one asyncio event loop, and its :class:`~repro.serving.ingest.GatewayStats`
+ledger invariant (received == delivered + queued + shed + rejected + errored)
+must hold *at every suspension point* — both are one careless edit away from
+breaking.  Three mechanical checks:
+
+1. **No blocking calls in coroutines** — ``time.sleep``, synchronous socket
+   construction/IO, ``subprocess`` calls, bare ``open`` and synchronous
+   ``queue.Queue`` waits inside an ``async def`` stall every patient at
+   once.
+
+2. **No ``await`` between paired ledger writes** — within any statement
+   sequence of a coroutine, an ``await``-bearing statement must not sit
+   between two statements that write gateway ledger counters: the counters
+   around it form one atomic accounting step, and a suspension in the middle
+   exposes a half-counted frame to ``stats()`` (the exact bug class
+   ``frames_received`` being incremented only at terminal outcomes was
+   introduced to prevent).
+
+3. **No lock held across an ``await``** — a synchronous ``with <...lock...>``
+   whose body suspends can deadlock the loop (the waiter that would release
+   it never runs).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.analysis.framework import Finding, ModuleSource, Rule
+
+__all__ = ["AsyncSafetyRule", "GATEWAY_LEDGER_COUNTERS"]
+
+#: Dotted calls that block the event loop.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "open",
+    }
+)
+#: Method names that block when invoked on synchronous queue/socket objects.
+_BLOCKING_METHODS = frozenset({"recv", "recv_into", "sendall", "accept", "connect_ex"})
+
+#: The GatewayStats frame-ledger counters (written on ``self``): one frame's
+#: accounting transition must happen with no suspension point in between.
+GATEWAY_LEDGER_COUNTERS: Tuple[str, ...] = (
+    "_frames_received",
+    "_frames_delivered",
+    "_frames_shed",
+    "_frames_rejected",
+    "_frames_errored",
+    "_queued",
+)
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _dotted_name(node: ast.expr) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _walk_excluding_nested_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without descending into nested function definitions."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _statement_lists(func: _FuncDef) -> Iterator[List[ast.stmt]]:
+    """Every statement sequence in ``func`` (bodies, else/finally branches)."""
+    stack: List[ast.AST] = [func]
+    while stack:
+        node = stack.pop()
+        for field_name in ("body", "orelse", "finalbody"):
+            block = getattr(node, field_name, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+class AsyncSafetyRule(Rule):
+    """Keep coroutines non-blocking and the frame ledger suspension-safe."""
+
+    rule_id = "async-safety"
+    description = (
+        "no blocking calls in async defs, no await between paired ledger "
+        "writes, no sync lock held across an await"
+    )
+    invariant = (
+        "the GatewayStats ledger always balances and the gateway event loop "
+        "never stalls (ROADMAP: every frame accounted, backpressure works)"
+    )
+
+    def __init__(
+        self,
+        path_markers: Sequence[str] = ("repro/serving/",),
+        ledger_counters: Sequence[str] = GATEWAY_LEDGER_COUNTERS,
+    ) -> None:
+        self.path_markers = tuple(path_markers)
+        self.ledger_counters = frozenset(ledger_counters)
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        if not self.path_markers:
+            return True
+        return any(marker in module.path for marker in self.path_markers)
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings.extend(self._check_blocking(module, node))
+                findings.extend(self._check_ledger(module, node))
+                findings.extend(self._check_locks(module, node))
+        return findings
+
+    # ------------------------------------------------------- blocking calls
+    def _check_blocking(
+        self, module: ModuleSource, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in _walk_excluding_nested_functions(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted in _BLOCKING_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    "blocking call %s(...) inside async def %s" % (dotted, func.name),
+                    "use the asyncio equivalent (asyncio.sleep, streams, "
+                    "run_in_executor) — a blocking call stalls every patient "
+                    "on the loop",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "synchronous .%s(...) inside async def %s" % (node.func.attr, func.name),
+                    "use asyncio streams / loop.sock_* instead of blocking "
+                    "socket methods on the event loop",
+                )
+
+    # -------------------------------------------------------- ledger atomicity
+    def _touches_ledger(self, stmt: ast.stmt) -> bool:
+        for node in _walk_excluding_nested_functions(stmt):
+            target = None
+            if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                target = node.target
+            elif isinstance(node, ast.Assign) and node.targets:
+                target = node.targets[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr in self.ledger_counters
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _first_await(stmt: ast.stmt) -> Union[ast.Await, None]:
+        for node in _walk_excluding_nested_functions(stmt):
+            if isinstance(node, ast.Await):
+                return node
+        return None
+
+    def _check_ledger(
+        self, module: ModuleSource, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for block in _statement_lists(func):
+            ledger_indices = [i for i, stmt in enumerate(block) if self._touches_ledger(stmt)]
+            if len(ledger_indices) < 2:
+                continue
+            first, last = ledger_indices[0], ledger_indices[-1]
+            for i in range(first + 1, last):
+                stmt = block[i]
+                if self._touches_ledger(stmt):
+                    continue
+                await_node = self._first_await(stmt)
+                if await_node is not None:
+                    yield self.finding(
+                        module,
+                        await_node,
+                        "await between GatewayStats ledger writes in async def %s"
+                        % func.name,
+                        "complete the frame's accounting transition (all paired "
+                        "counter writes) before suspending — stats() must "
+                        "balance at every await point",
+                    )
+
+    # ----------------------------------------------------------------- locks
+    def _check_locks(
+        self, module: ModuleSource, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in _walk_excluding_nested_functions(func):
+            if not isinstance(node, ast.With):
+                continue
+            lockish = None
+            for item in node.items:
+                dotted = _dotted_name(
+                    item.context_expr.func
+                    if isinstance(item.context_expr, ast.Call)
+                    else item.context_expr
+                )
+                if "lock" in dotted.lower():
+                    lockish = dotted
+                    break
+            if lockish is None:
+                continue
+            for inner in node.body:
+                if self._first_await(inner) is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "synchronous lock %r held across an await in async def %s"
+                        % (lockish, func.name),
+                        "use asyncio.Lock with `async with`, or release the "
+                        "lock before suspending",
+                    )
+                    break

@@ -1,0 +1,182 @@
+"""``determinism``: no ambient randomness or wall-clock reads in the library.
+
+The reproduction's guarantees are replay-based: the golden trace pins
+absolute numbers, the churn-parity harness replays identical streams through
+different topologies, and CI re-runs everything derandomised.  All of that
+assumes ``src/repro`` computes the same outputs from the same inputs — an
+ambient ``np.random.rand()`` or ``time.time()`` buried in library code
+breaks replay in ways a test only catches by luck.
+
+The rule therefore rejects, anywhere it is pointed at:
+
+* imports of the stdlib ``random`` module (global-state RNG);
+* calls to the legacy NumPy global RNG (``np.random.seed`` /
+  ``np.random.rand`` / ...);
+* unseeded ``np.random.default_rng()`` — every generator must be
+  constructed from an explicit seed that the caller controls;
+* wall-clock reads: ``time.time`` / ``time.monotonic`` /
+  ``time.perf_counter`` (and ``_ns`` variants), ``datetime.now`` /
+  ``utcnow`` / ``today``.
+
+The injectable entry points stay legal by construction: passing
+``time.monotonic`` as a default ``clock=`` argument is a *reference*, not a
+call, and calling an injected ``clock()`` / ``self._clock()`` never matches
+the dotted blocklist.  Code with a genuine need (a CLI printing a timestamp)
+documents it with ``# repro: allow[determinism]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Sequence
+
+from repro.analysis.framework import Finding, ModuleSource, Rule
+
+__all__ = ["DeterminismRule"]
+
+#: Dotted call names that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Legacy NumPy global-RNG functions (module-level state, order-dependent).
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "choice",
+        "shuffle",
+        "permutation",
+        "poisson",
+        "binomial",
+        "exponential",
+        "beta",
+        "gamma",
+        "get_state",
+        "set_state",
+    }
+)
+
+
+def _dotted_name(node: ast.expr) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class DeterminismRule(Rule):
+    """Reject ambient RNG state and wall-clock reads."""
+
+    rule_id = "determinism"
+    description = (
+        "no stdlib random, legacy np.random globals, unseeded default_rng or "
+        "wall-clock calls outside injectable clock/seed entry points"
+    )
+    invariant = (
+        "replayability: identical inputs give identical outputs (ROADMAP: "
+        "golden trace pins absolute numbers; parity fuzzing replays streams)"
+    )
+
+    def __init__(self, path_markers: Sequence[str] = ()) -> None:
+        #: Optional path gate; empty means "every file I am pointed at".
+        self.path_markers = tuple(path_markers)
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        if not self.path_markers:
+            return True
+        return any(marker in module.path for marker in self.path_markers)
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                "import of the global-state stdlib random module",
+                                "take an np.random.Generator (or a seed) as a "
+                                "parameter instead of ambient RNG state",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "import from the global-state stdlib random module",
+                            "take an np.random.Generator (or a seed) as a "
+                            "parameter instead of ambient RNG state",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node))
+        return findings
+
+    def _check_call(self, module: ModuleSource, node: ast.Call) -> Iterable[Finding]:
+        dotted = _dotted_name(node.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            yield self.finding(
+                module,
+                node,
+                "wall-clock read %s() in library code" % dotted,
+                "accept an injectable clock parameter (clock: Callable[[], "
+                "float] = time.monotonic) and call that instead — a reference "
+                "in a default argument is fine, an ambient call is not",
+            )
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        owner = _dotted_name(node.func.value)
+        if owner in ("np.random", "numpy.random"):
+            if node.func.attr in _LEGACY_NP_RANDOM:
+                yield self.finding(
+                    module,
+                    node,
+                    "legacy global-RNG call %s.%s(...)" % (owner, node.func.attr),
+                    "construct an explicit np.random.default_rng(seed) and "
+                    "thread it through as a parameter",
+                )
+            elif node.func.attr == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "unseeded %s.default_rng() — entropy from the OS makes "
+                    "runs unreproducible" % owner,
+                    "require a seed (or a Generator) from the caller; only "
+                    "explicit entry points may choose entropy, with a "
+                    "documented # repro: allow[determinism]",
+                )

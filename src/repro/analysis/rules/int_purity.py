@@ -1,0 +1,147 @@
+"""``int-purity``: no float arithmetic inside ``@int_only`` functions.
+
+The fixed-point pipeline's guarantee is bit-exactness: every intermediate of
+:class:`~repro.quant.quantized_model.QuantizedSVM` is an integer, so the
+int64 fast path, the exact-arithmetic fallback and the hardware datapath all
+produce the *same* accumulator words.  One float literal or stray ``/`` in
+that code silently re-introduces rounding the accelerator does not have —
+the classic field failure of embedded ML ports.
+
+Functions opt in by carrying the
+:func:`repro.analysis.markers.int_only` decorator (the designation lives in
+the source, next to the guarantee).  Inside a marked function the rule
+rejects:
+
+* float (and complex) literals;
+* true division ``/`` (integer paths use ``//`` or shifts);
+* calls to ``float(...)`` and to ``math.*`` (float transcendentals);
+* float dtypes anywhere: ``np.float16/32/64``, ``np.double``,
+  ``astype(float)``, ``dtype=float`` keywords;
+* float-producing NumPy reductions (``np.mean`` / ``np.average`` /
+  ``np.divide`` / ``np.true_divide``).
+
+Nested functions inherit the designation (they run inside the marked body).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Union
+
+from repro.analysis.framework import Finding, ModuleSource, Rule
+
+__all__ = ["IntPurityRule"]
+
+#: Attribute names that denote a float dtype wherever they appear.
+_FLOAT_DTYPE_ATTRS = frozenset(
+    {"float16", "float32", "float64", "float128", "float_", "double", "half", "single"}
+)
+#: NumPy callables that produce floats even from integer inputs.
+_FLOAT_PRODUCING_FUNCS = frozenset({"mean", "average", "divide", "true_divide"})
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Trailing name of a decorator expression (``a.b.int_only`` → ``int_only``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_float_dtype_expr(node: ast.expr) -> bool:
+    """Whether an expression names a float dtype (``float``, ``np.float64``, ``"float32"``)."""
+    if isinstance(node, ast.Name) and node.id == "float":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in _FLOAT_DTYPE_ATTRS:
+        return True
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.lstrip("<>=").startswith(("f", "float", "d"))
+    return False
+
+
+class IntPurityRule(Rule):
+    """Reject float-producing constructs in ``@int_only`` functions."""
+
+    rule_id = "int-purity"
+    description = "no float literals, true division or float dtypes in @int_only functions"
+    invariant = (
+        "bit-exact fixed-point inference: the quantized hot path "
+        "(repro.quant int64/exact pipelines, repro.hardware.arithmetic width "
+        "handling) is integer-only"
+    )
+
+    def __init__(self, marker: str = "int_only") -> None:
+        self.marker = marker
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+                _decorator_name(dec) == self.marker for dec in node.decorator_list
+            ):
+                findings.extend(self._check_function(module, node))
+        return findings
+
+    # ------------------------------------------------------------- internals
+    def _check_function(self, module: ModuleSource, func: _FuncDef) -> Iterator[Finding]:
+        hint = (
+            "keep the @%s datapath integer-only: use //, shifts and integer "
+            "constants, or move the float work outside the marked function"
+            % self.marker
+        )
+        for stmt in func.body:
+            for node in ast.walk(stmt):
+                message = self._violation(node)
+                if message is not None:
+                    yield self.finding(module, node, message, hint)
+
+    def _violation(self, node: ast.AST) -> Union[str, None]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, (float, complex)):
+            return "float literal %r in an @%s function" % (node.value, self.marker)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return "true division (/) produces a float in an @%s function" % self.marker
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+            return "true division (/=) produces a float in an @%s function" % self.marker
+        if isinstance(node, ast.Call):
+            return self._call_violation(node)
+        if (
+            isinstance(node, ast.keyword)
+            and node.arg == "dtype"
+            and _is_float_dtype_expr(node.value)
+        ):
+            return "float dtype keyword in an @%s function" % self.marker
+        return None
+
+    def _call_violation(self, node: ast.Call) -> Union[str, None]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return "float(...) conversion in an @%s function" % self.marker
+        if isinstance(func, ast.Attribute):
+            if func.attr in _FLOAT_DTYPE_ATTRS:
+                return "float dtype constructor .%s in an @%s function" % (
+                    func.attr,
+                    self.marker,
+                )
+            if func.attr == "astype" and any(
+                _is_float_dtype_expr(arg) for arg in node.args
+            ):
+                return "astype(<float>) in an @%s function" % self.marker
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "math"
+            ):
+                return "math.%s returns a float in an @%s function" % (
+                    func.attr,
+                    self.marker,
+                )
+            if func.attr in _FLOAT_PRODUCING_FUNCS:
+                return "%s(...) produces floats in an @%s function" % (
+                    func.attr,
+                    self.marker,
+                )
+        return None

@@ -1,0 +1,217 @@
+"""``wire-version``: the binary frame layout only changes with its version.
+
+:mod:`repro.serving.wire` promises that a frame's layout is fully determined
+by the ``WIRE_VERSION`` byte in its header — that is what lets a decoder
+reject frames from an incompatible build instead of misreading them.  The
+promise dies silently if someone edits the ``struct`` format, the magic or
+the dtype table while leaving ``WIRE_VERSION`` alone: old and new builds
+then disagree about byte layout *within the same version number*.
+
+This rule fingerprints each wire version in :data:`WIRE_REGISTRY` (header
+format string, magic, dtype-code table).  Any module that declares a
+``WIRE_VERSION`` is checked against the registry: an unregistered version,
+or a layout that differs from the registered fingerprint, is an error whose
+fix is a deliberate version bump plus a registry re-pin — never a quiet
+layout edit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.framework import Finding, ModuleSource, Rule
+
+__all__ = ["WireSpec", "WIRE_REGISTRY", "WireVersionRule"]
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """Pinned layout fingerprint of one wire-format version."""
+
+    header_format: str
+    magic: bytes
+    dtype_codes: Tuple[int, ...]
+
+
+#: Committed wire-format fingerprints, one entry per ``WIRE_VERSION`` ever
+#: shipped.  A layout change = new version byte = new entry; entries for
+#: shipped versions are append-only.
+WIRE_REGISTRY: Dict[int, WireSpec] = {
+    1: WireSpec(
+        header_format="<4sBBHIIIdI",
+        magic=b"ECGC",
+        dtype_codes=(0, 1, 2, 3),
+    ),
+}
+
+
+def _module_assignments(tree: ast.Module) -> Dict[str, ast.expr]:
+    """Module-level ``NAME = <expr>`` / ``NAME: T = <expr>`` values."""
+    values: Dict[str, ast.expr] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                values[target.id] = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and isinstance(node.target, ast.Name)
+        ):
+            values[node.target.id] = node.value
+    return values
+
+
+def _struct_format_literal(node: ast.expr) -> Optional[str]:
+    """The literal format string of a ``struct.Struct("...")`` call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "Struct"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    ):
+        return node.args[0].value
+    return None
+
+
+def _int_literal_keys(node: ast.expr) -> Optional[Tuple[int, ...]]:
+    """The integer keys of a dict literal, in declaration order."""
+    if not isinstance(node, ast.Dict):
+        return None
+    keys = []
+    for key in node.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, int)):
+            return None
+        keys.append(key.value)
+    return tuple(keys)
+
+
+class WireVersionRule(Rule):
+    """The frame layout constants must match their registered version."""
+
+    rule_id = "wire-version"
+    description = (
+        "struct header format, magic and dtype table must match the pinned "
+        "fingerprint of the declared WIRE_VERSION"
+    )
+    invariant = (
+        "versioned wire format: a frame's byte layout is fully determined by "
+        "its version byte (ROADMAP: gateway transport is invisible in output)"
+    )
+
+    #: Names of the layout constants a wire module declares.
+    version_name = "WIRE_VERSION"
+    header_name = "HEADER"
+    magic_name = "WIRE_MAGIC"
+    dtypes_name = "DTYPE_CODES"
+
+    def __init__(self, registry: Optional[Dict[int, WireSpec]] = None) -> None:
+        self.registry = WIRE_REGISTRY if registry is None else registry
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return self.version_name in module.text
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        assignments = _module_assignments(module.tree)
+        version_node = assignments.get(self.version_name)
+        if version_node is None:
+            return []
+        findings: List[Finding] = []
+        repin_hint = (
+            "changing the frame layout requires bumping %s and adding a new "
+            "entry to repro.analysis.rules.wire_version.WIRE_REGISTRY"
+            % self.version_name
+        )
+        if not (
+            isinstance(version_node, ast.Constant)
+            and isinstance(version_node.value, int)
+        ):
+            findings.append(
+                self.finding(
+                    module,
+                    version_node,
+                    "%s must be an integer literal" % self.version_name,
+                    "the analyzer (and any reader of the module) must be able "
+                    "to resolve the wire version statically",
+                )
+            )
+            return findings
+        version = version_node.value
+        spec = self.registry.get(version)
+        if spec is None:
+            findings.append(
+                self.finding(
+                    module,
+                    version_node,
+                    "%s = %d has no pinned fingerprint in WIRE_REGISTRY"
+                    % (self.version_name, version),
+                    repin_hint,
+                )
+            )
+            return findings
+
+        header_node = assignments.get(self.header_name)
+        if header_node is not None:
+            header_format = _struct_format_literal(header_node)
+            if header_format is None:
+                findings.append(
+                    self.finding(
+                        module,
+                        header_node,
+                        "%s must be struct.Struct(<string literal>)" % self.header_name,
+                        "a computed format string defeats static layout pinning",
+                    )
+                )
+            elif header_format != spec.header_format:
+                findings.append(
+                    self.finding(
+                        module,
+                        header_node,
+                        "header format %r differs from the %r pinned for wire "
+                        "version %d" % (header_format, spec.header_format, version),
+                        repin_hint,
+                    )
+                )
+
+        magic_node = assignments.get(self.magic_name)
+        if magic_node is not None:
+            magic = magic_node.value if isinstance(magic_node, ast.Constant) else None
+            if magic != spec.magic:
+                findings.append(
+                    self.finding(
+                        module,
+                        magic_node,
+                        "%s differs from the %r pinned for wire version %d"
+                        % (self.magic_name, spec.magic, version),
+                        repin_hint,
+                    )
+                )
+
+        dtypes_node = assignments.get(self.dtypes_name)
+        if dtypes_node is not None:
+            codes = _int_literal_keys(dtypes_node)
+            if codes is None:
+                findings.append(
+                    self.finding(
+                        module,
+                        dtypes_node,
+                        "%s must be a dict literal with integer-literal keys"
+                        % self.dtypes_name,
+                        "a computed dtype table defeats static layout pinning",
+                    )
+                )
+            elif codes != spec.dtype_codes:
+                findings.append(
+                    self.finding(
+                        module,
+                        dtypes_node,
+                        "dtype codes %s differ from the %s pinned for wire "
+                        "version %d" % (list(codes), list(spec.dtype_codes), version),
+                        repin_hint,
+                    )
+                )
+        return findings

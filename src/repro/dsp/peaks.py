@@ -216,6 +216,19 @@ class StreamingPeakDetector:
     Indices and times are absolute (relative to the first pushed sample).
     """
 
+    #: Derived, immutable configuration recomputed by ``__init__`` from
+    #: ``fs`` + ``params`` — deliberately not part of :class:`PeakDetectorState`
+    #: (the ``snapshot-completeness`` rule of :mod:`repro.analysis` pins this
+    #: list against the constructor).
+    _SNAPSHOT_EXCLUDE = (
+        "_taps",
+        "_refractory",
+        "_half_refine",
+        "_integration",
+        "_margin",
+        "_context",
+    )
+
     def __init__(self, fs: float, params: PanTompkinsParams | None = None) -> None:
         if fs <= 0:
             raise ValueError("fs must be positive")

@@ -20,10 +20,10 @@ cost estimation always describe the same design point.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.analysis.markers import int_only
 from repro.hardware.arithmetic import (
     adder_area_um2,
     adder_energy_pj,
@@ -40,8 +40,11 @@ from repro.hardware.technology import TECH_40NM, TechnologyParams
 __all__ = ["AcceleratorConfig", "AcceleratorReport", "evaluate_accelerator"]
 
 
+@int_only
 def _clog2(value: int) -> int:
-    return max(1, int(math.ceil(math.log2(max(value, 2)))))
+    # ceil(log2(v)) == (v - 1).bit_length() for v >= 2, computed exactly in
+    # integer arithmetic (log2 of a wide int would round through a float).
+    return max(1, (max(value, 2) - 1).bit_length())
 
 
 @dataclass
@@ -79,30 +82,35 @@ class AcceleratorConfig:
             raise ValueError("truncation amounts cannot be negative")
 
     # ------------------------------------------------------------ datapath
+    @int_only
     def _cap(self, width: int) -> int:
         if self.datapath_cap_bits is not None:
             return min(width, self.datapath_cap_bits)
         return width
 
     @property
+    @int_only
     def dot_accumulator_bits(self) -> int:
         """Width of the MAC1 accumulator (before truncation)."""
         width = 2 * self.feature_bits + _clog2(self.n_features)
         return self._cap(max(width, 4))
 
     @property
+    @int_only
     def dot_output_bits(self) -> int:
         """Width of the dot-product value fed to the squarer."""
         width = self.dot_accumulator_bits - self.truncate_after_dot
         return self._cap(max(width, 4))
 
     @property
+    @int_only
     def square_output_bits(self) -> int:
         """Width of the kernel value fed to MAC2."""
         width = 2 * self.dot_output_bits - self.truncate_after_square
         return self._cap(max(width, 4))
 
     @property
+    @int_only
     def mac2_accumulator_bits(self) -> int:
         """Width of the MAC2 accumulator."""
         width = self.square_output_bits + self.coeff_bits + _clog2(self.n_support_vectors)

@@ -17,6 +17,7 @@ a 64-bit to a 9-bit feature word shrinks MAC1 by ~50× in area and energy.
 
 from __future__ import annotations
 
+from repro.analysis.markers import int_only
 from repro.hardware.technology import TECH_40NM, TechnologyParams
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
 ]
 
 
+@int_only
 def _check_width(width_bits: int, name: str = "width") -> int:
     width = int(width_bits)
     if width <= 0:

@@ -16,7 +16,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.quant.quantized_model import QuantizedSVM
+from repro.quant.quantized_model import QuantizationConfig, QuantizedSVM
 from repro.svm.backend import project_features
 
 __all__ = ["QuantizedSVMBackend"]
@@ -70,7 +70,7 @@ class QuantizedSVMBackend:
         return self.quantized.n_support_vectors
 
     @property
-    def config(self):
+    def config(self) -> "QuantizationConfig":
         """The :class:`~repro.quant.quantized_model.QuantizationConfig`."""
         return self.quantized.config
 

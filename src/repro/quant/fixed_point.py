@@ -14,6 +14,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.analysis.markers import int_only
+
 __all__ = [
     "scale_for_exponent",
     "saturate",
@@ -26,6 +28,7 @@ __all__ = [
 ArrayLike = Union[float, np.ndarray]
 
 
+@int_only
 def int_bounds(bits: int) -> tuple[int, int]:
     """(minimum, maximum) representable value of a signed ``bits``-wide word."""
     if bits < 2:
@@ -92,6 +95,7 @@ def quantize_columns(values: np.ndarray, scales: np.ndarray, bits: int) -> np.nd
     ).reshape(q.shape)
 
 
+@int_only
 def truncate_lsbs(value: Union[int, np.ndarray], n_bits: int) -> Union[int, np.ndarray]:
     """Discard the ``n_bits`` least significant bits (arithmetic shift right).
 

@@ -27,10 +27,11 @@ falls back to exact Python integers, so arbitrarily wide reference datapaths
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.markers import int_only
 from repro.hardware.accelerator import AcceleratorConfig
 from repro.quant.fixed_point import quantize_columns, quantize_to_int, scale_for_exponent
 from repro.quant.ranges import (
@@ -40,6 +41,9 @@ from repro.quant.ranges import (
 )
 from repro.svm.kernels import PolynomialKernel
 from repro.svm.model import SVMModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.quant.backend import QuantizedSVMBackend
 
 __all__ = ["QuantizationConfig", "QuantizedSVM"]
 
@@ -192,7 +196,11 @@ class QuantizedSVM:
             labels = np.asarray([1 if v >= 0 else -1 for v in acc], dtype=int)
         return scores, labels
 
-    def as_backend(self, feature_indices=None, name: Optional[str] = None):
+    def as_backend(
+        self,
+        feature_indices: "Optional[Sequence[int]]" = None,
+        name: Optional[str] = None,
+    ) -> "QuantizedSVMBackend":
         """Wrap this pipeline as a serving-layer inference backend.
 
         The adapter (:class:`~repro.quant.backend.QuantizedSVMBackend`)
@@ -219,6 +227,7 @@ class QuantizedSVM:
         )
 
     # ------------------------------------------------------------- pipeline
+    @int_only
     def _fits_int64(self) -> bool:
         """Worst-case overflow check for the int64 fast path.
 
@@ -249,12 +258,13 @@ class QuantizedSVM:
         limit = 1 << 62
         return max(acc1_max, squared_max, acc2_max) < limit
 
-    def _accumulate(self, q_test: np.ndarray):
+    def _accumulate(self, q_test: np.ndarray) -> "np.ndarray | list":
         """Run the integer pipeline for every (already quantised) test row."""
         if self._use_fast_path:
             return self._accumulate_int64(q_test)
         return self._accumulate_exact(q_test)
 
+    @int_only
     def _accumulate_int64(self, q_test: np.ndarray) -> np.ndarray:
         shifts = self.product_shifts.astype(np.int64)
         sv_shifted = (self.sv_int.astype(np.int64)) << shifts[None, :]
@@ -267,6 +277,7 @@ class QuantizedSVM:
         acc2 = kernel_int @ self.coeff_int.astype(np.int64)
         return acc2 + np.int64(self.bias_int)
 
+    @int_only
     def _accumulate_exact(self, q_test: np.ndarray) -> list:
         """Exact arbitrary-precision path (used by very wide datapaths)."""
         trunc1 = self.config.truncate_after_dot

@@ -33,12 +33,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Callable, Dict, Iterable, List, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
 from repro.dsp.peaks import PanTompkinsParams
-from repro.serving.registry import ModelRegistry, classify_grouped
+from repro.serving.registry import InferenceBackend, ModelRegistry, classify_grouped
 from repro.serving.scheduler import ChunkCountPolicy, DrainPolicy, DrainStats
 from repro.serving.streaming import (
     MONITOR_STATE_VERSION,
@@ -50,10 +50,13 @@ from repro.serving.streaming import (
 from repro.serving.wire import decode_chunk_checked
 from repro.signals.windows import WindowingParams
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.serving.sharding import ShardedFleet
+
 __all__ = ["MonitorFleet", "decision_sort_key", "run_streams"]
 
 
-def decision_sort_key(decision: WindowDecision):
+def decision_sort_key(decision: WindowDecision) -> tuple[float, int]:
     """Canonical ordering of fleet output: by window start, then patient.
 
     Both :meth:`MonitorFleet.run` and the sharded fleet sort their merged
@@ -64,7 +67,7 @@ def decision_sort_key(decision: WindowDecision):
 
 
 def run_streams(
-    fleet,
+    fleet: "MonitorFleet | ShardedFleet",
     streams: Mapping[int, Iterable[np.ndarray]],
     drain_every: int = 0,
     policy: DrainPolicy | None = None,
@@ -151,7 +154,7 @@ class MonitorFleet:
 
     def __init__(
         self,
-        classifier,
+        classifier: InferenceBackend | ModelRegistry,
         fs: float,
         windowing: WindowingParams | None = None,
         detector_params: PanTompkinsParams | None = None,
@@ -176,12 +179,12 @@ class MonitorFleet:
 
     # --------------------------------------------------------------- models
     @property
-    def classifier(self):
+    def classifier(self) -> Optional[InferenceBackend]:
         """The registry's default backend (the shared model of a homogeneous
         fleet); ``None`` when the registry is strict per-patient only."""
         return self.registry.default
 
-    def register_model(self, patient_id: int, backend) -> int:
+    def register_model(self, patient_id: int, backend: InferenceBackend) -> int:
         """Install (or hot-swap) one patient's tailored backend.
 
         Delegates to :meth:`ModelRegistry.register

@@ -40,13 +40,14 @@ import hashlib
 import multiprocessing as mp
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from multiprocessing.connection import Connection
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.dsp.peaks import PanTompkinsParams
 from repro.serving.fleet import MonitorFleet, decision_sort_key, run_streams
-from repro.serving.registry import ModelRegistry
+from repro.serving.registry import InferenceBackend, ModelRegistry
 from repro.serving.scheduler import DrainPolicy, DrainStats, merge_stats
 from repro.serving.streaming import PendingWindow, WindowDecision
 from repro.serving.wire import decode_chunk_checked
@@ -64,7 +65,9 @@ class ShardDrainError(RuntimeError):
     :attr:`errors` maps shard index to the exception it raised.
     """
 
-    def __init__(self, errors, decisions) -> None:
+    def __init__(
+        self, errors: Mapping[int, Exception], decisions: Iterable[WindowDecision]
+    ) -> None:
         super().__init__(
             "drain failed on shard(s) %s: %s"
             % (sorted(errors), "; ".join(repr(errors[s]) for s in sorted(errors)))
@@ -143,7 +146,7 @@ class HashRing:
 # ---------------------------------------------------------------------------
 
 
-def _invoke(fleet: MonitorFleet, method: str, *args, **kwargs):
+def _invoke(fleet: MonitorFleet, method: str, *args: Any, **kwargs: Any) -> Any:
     """Call a fleet method, or read a fleet property when ``method`` names one."""
     attr = getattr(fleet, method)
     if callable(attr):
@@ -157,13 +160,13 @@ class _SerialBackend:
     def __init__(self, shards: Sequence[MonitorFleet]) -> None:
         self.shards = list(shards)
 
-    def call(self, shard: int, method: str, *args, **kwargs):
+    def call(self, shard: int, method: str, *args: Any, **kwargs: Any) -> Any:
         return _invoke(self.shards[shard], method, *args, **kwargs)
 
-    def call_all(self, method: str, *args, **kwargs) -> list:
+    def call_all(self, method: str, *args: Any, **kwargs: Any) -> list:
         return [_invoke(shard, method, *args, **kwargs) for shard in self.shards]
 
-    def call_all_settled(self, method: str, *args, **kwargs) -> list:
+    def call_all_settled(self, method: str, *args: Any, **kwargs: Any) -> list:
         """Like :meth:`call_all`, but collects ``(ok, value_or_exc)`` pairs
         instead of aborting on the first shard failure."""
         settled = []
@@ -187,10 +190,10 @@ class _ThreadBackend(_SerialBackend):
             max_workers=len(self.shards), thread_name_prefix="shard"
         )
 
-    def call_all(self, method: str, *args, **kwargs) -> list:
+    def call_all(self, method: str, *args: Any, **kwargs: Any) -> list:
         return [future.result() for future in self._submit_all(method, *args, **kwargs)]
 
-    def call_all_settled(self, method: str, *args, **kwargs) -> list:
+    def call_all_settled(self, method: str, *args: Any, **kwargs: Any) -> list:
         settled = []
         for future in self._submit_all(method, *args, **kwargs):
             try:
@@ -209,7 +212,14 @@ class _ThreadBackend(_SerialBackend):
         self._pool.shutdown(wait=True)
 
 
-def _shard_worker(conn, classifier, fs, windowing, detector_params, auto_register):
+def _shard_worker(
+    conn: Connection,
+    classifier: InferenceBackend | ModelRegistry,
+    fs: float,
+    windowing: Optional[WindowingParams],
+    detector_params: Optional[PanTompkinsParams],
+    auto_register: bool,
+) -> None:
     """Worker-process loop: host one shard fleet, serve pipe requests."""
     fleet = MonitorFleet(
         classifier,
@@ -291,7 +301,7 @@ class _ProcessBackend:
         while len(self._conns) < n_shards:
             self._spawn_one()
 
-    def call(self, shard: int, method: str, *args, **kwargs):
+    def call(self, shard: int, method: str, *args: Any, **kwargs: Any) -> Any:
         conn = self._conns[shard]
         conn.send((method, args, kwargs))
         status, value = conn.recv()
@@ -299,14 +309,14 @@ class _ProcessBackend:
             raise value
         return value
 
-    def call_all(self, method: str, *args, **kwargs) -> list:
+    def call_all(self, method: str, *args: Any, **kwargs: Any) -> list:
         settled = self.call_all_settled(method, *args, **kwargs)
         for ok, value in settled:
             if not ok:
                 raise value
         return [value for _, value in settled]
 
-    def call_all_settled(self, method: str, *args, **kwargs) -> list:
+    def call_all_settled(self, method: str, *args: Any, **kwargs: Any) -> list:
         for conn in self._conns:
             conn.send((method, args, kwargs))
         return [
@@ -432,12 +442,12 @@ class ShardedFleet:
 
     # --------------------------------------------------------------- models
     @property
-    def classifier(self):
+    def classifier(self) -> Optional[InferenceBackend]:
         """The registry's default backend (the shared model of a homogeneous
         fleet); ``None`` when the registry is strict per-patient only."""
         return self.registry.default
 
-    def register_model(self, patient_id: int, backend) -> int:
+    def register_model(self, patient_id: int, backend: InferenceBackend) -> int:
         """Install (or hot-swap) one patient's tailored backend, fleet-wide.
 
         The in-process executor backends share the parent's

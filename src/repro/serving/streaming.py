@@ -205,6 +205,12 @@ class StreamingMonitor:
         Pan–Tompkins tuning of the streaming R-peak detector.
     """
 
+    #: Not captured by :meth:`snapshot`, and pinned so by the
+    #: ``snapshot-completeness`` rule of :mod:`repro.analysis`: the classifier
+    #: is fleet-owned (a migrated patient is classified by the *destination*
+    #: fleet's registry) and the feature extractor is stateless.
+    _SNAPSHOT_EXCLUDE = ("classifier", "_extractor")
+
     def __init__(
         self,
         patient_id: int,

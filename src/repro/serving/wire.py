@@ -109,7 +109,7 @@ class SequenceError(ValueError):
         self.seq = int(seq)
         self.expected = int(expected)
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[object, tuple[object, ...]]:
         # Keyword-only constructor args defeat the default exception pickling
         # (needed when a shard worker process reports a sequence violation).
         return (
@@ -118,7 +118,9 @@ class SequenceError(ValueError):
         )
 
 
-def _rebuild_sequence_error(cls, message, seq, expected):
+def _rebuild_sequence_error(
+    cls: type[SequenceError], message: str, seq: int, expected: int
+) -> SequenceError:
     return cls(message, seq=seq, expected=expected)
 
 
@@ -206,7 +208,7 @@ def encode_chunk(
     return bare_header[:-4] + struct.pack("<I", crc) + payload
 
 
-def _parse_header(buf, offset: int):
+def _parse_header(buf: bytes, offset: int) -> tuple[int, int, int, float, np.dtype, int]:
     """Validate the header at ``offset``; return its decoded fields.
 
     Requires ``HEADER.size`` bytes to be available.  Every check that does
@@ -229,7 +231,11 @@ def _parse_header(buf, offset: int):
     return patient_id, seq, n_samples, fs, DTYPE_CODES[dtype_code], crc
 
 
-def _decode_at(buf: bytes, offset: int, header=None) -> tuple[EcgChunk, int]:
+def _decode_at(
+    buf: bytes,
+    offset: int,
+    header: tuple[int, int, int, float, np.dtype, int] | None = None,
+) -> tuple[EcgChunk, int]:
     """Decode the frame starting at ``offset``; return (chunk, next offset).
 
     ``header`` accepts the fields a caller already obtained from

@@ -1,0 +1,30 @@
+"""Known-bad corpus for ``determinism``: ambient entropy and wall clocks."""
+
+import random  # expect[determinism]
+import time
+from datetime import datetime
+from random import choice  # expect[determinism]
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random() + np.random.rand()  # expect[determinism]
+
+
+def pick(options):
+    return choice(options)
+
+
+def unseeded() -> "np.random.Generator":
+    return np.random.default_rng()  # expect[determinism]
+
+
+def seeded_is_fine(seed: int) -> "np.random.Generator":
+    return np.random.default_rng(seed)
+
+
+def stamp() -> str:
+    now = time.time()  # expect[determinism]
+    day = datetime.now()  # expect[determinism]
+    return "%f-%s" % (now, day)

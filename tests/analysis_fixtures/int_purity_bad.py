@@ -1,0 +1,61 @@
+"""Known-bad corpus for ``int-purity``: float leaks in @int_only functions."""
+
+import math
+
+import numpy as np
+
+from repro.analysis.markers import int_only
+
+
+@int_only
+def bad_float_literal(x: int) -> int:
+    scale = 0.5  # expect[int-purity]
+    return int(x * scale)
+
+
+@int_only
+def bad_true_division(x: int, y: int) -> int:
+    return x / y  # expect[int-purity]
+
+
+@int_only
+def bad_aug_division(x: int, y: int) -> int:
+    x /= y  # expect[int-purity]
+    return x
+
+
+@int_only
+def bad_float_conversion(x: int) -> int:
+    return int(float(x))  # expect[int-purity]
+
+
+@int_only
+def bad_math_call(x: int) -> int:
+    return int(math.sqrt(x))  # expect[int-purity]
+
+
+@int_only
+def bad_astype(values):
+    return values.astype(np.float64)  # expect[int-purity]
+
+
+@int_only
+def bad_dtype_keyword(values):
+    return np.asarray(values, dtype=float)  # expect[int-purity]
+
+
+@int_only
+def bad_mean(values):
+    return np.mean(values)  # expect[int-purity]
+
+
+@int_only
+def bad_nested_function(values):
+    def helper(v):
+        return v * 2.5  # expect[int-purity]
+
+    return [helper(v) for v in values]
+
+
+def unmarked_float_code_is_fine(x: int) -> float:
+    return x / 2.0

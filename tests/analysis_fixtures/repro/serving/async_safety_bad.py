@@ -1,0 +1,45 @@
+"""Known-bad corpus for ``async-safety``.
+
+Lives under a mirrored ``repro/serving/`` directory on purpose: the rule is
+path-gated to the serving package and this corpus exercises the gate itself.
+"""
+
+import threading
+import time
+
+_STATE_LOCK = threading.Lock()
+
+
+async def blocking_sleep() -> None:
+    time.sleep(0.1)  # expect[async-safety]
+
+
+async def blocking_socket_read(sock) -> bytes:
+    return sock.recv(4096)  # expect[async-safety]
+
+
+async def nested_defs_are_not_scanned() -> None:
+    def helper() -> None:
+        time.sleep(0.1)  # fine: runs synchronously when explicitly called
+
+    helper()
+
+
+class BadGateway:
+    def __init__(self) -> None:
+        self._frames_received = 0
+        self._frames_delivered = 0
+
+    async def half_counted_frame(self, queue, frame) -> None:
+        self._frames_received += 1
+        await queue.put(frame)  # expect[async-safety]
+        self._frames_delivered += 1
+
+    async def atomic_accounting_is_fine(self, queue, frame) -> None:
+        await queue.put(frame)
+        self._frames_received += 1
+        self._frames_delivered += 1
+
+    async def lock_across_await(self, queue, frame) -> None:
+        with _STATE_LOCK:  # expect[async-safety]
+            await queue.put(frame)

@@ -1,0 +1,48 @@
+"""Known-bad corpus for ``snapshot-completeness`` (completeness half)."""
+
+
+class ReplayBuffer:
+    """Forgets one attribute; excludes another legitimately."""
+
+    # _scratch is derived scratch space, recomputed on revive.
+    _SNAPSHOT_EXCLUDE = ("_scratch",)
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.items = []
+        self.cursor = 0  # expect[snapshot-completeness]
+        self._scratch = None
+
+    def snapshot(self) -> dict:
+        return {"capacity": self.capacity, "items": list(self.items)}
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "ReplayBuffer":
+        buf = cls(state["capacity"])
+        buf.items = list(state["items"])
+        return buf
+
+
+class NonLiteralExclude:
+    """The exclusion list must be a reviewable literal, not an expression."""
+
+    _SNAPSHOT_EXCLUDE = tuple("ab")  # expect[snapshot-completeness]
+
+    def __init__(self) -> None:
+        self.a = 1
+
+    def snapshot(self) -> dict:
+        return {"a": self.a}
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "NonLiteralExclude":
+        obj = cls()
+        obj.a = state["a"]
+        return obj
+
+
+class NotSnapshotCapable:
+    """No snapshot()/from_snapshot() pair: the rule must stay silent."""
+
+    def __init__(self) -> None:
+        self.anything = object()

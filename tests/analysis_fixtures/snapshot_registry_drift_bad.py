@@ -1,0 +1,25 @@
+"""Known-bad corpus for ``snapshot-completeness`` (version-pinning half).
+
+This module re-declares ``MonitorState`` with an extra ``debug_tag`` field
+while keeping ``MONITOR_STATE_VERSION`` at 1 — exactly the silent layout
+drift the pinned registry exists to catch.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+MONITOR_STATE_VERSION = 1
+
+
+@dataclass
+class MonitorState:  # expect[snapshot-completeness]
+    version: int
+    patient_id: str
+    fs: float
+    detector: dict
+    windower: dict
+    sequence: int
+    n_windows: int
+    n_usable: int
+    pending: tuple
+    debug_tag: Optional[str] = None

@@ -1,0 +1,18 @@
+"""Suppression corpus: every violation below carries an allow comment.
+
+The analyzer must report zero findings for this file while counting exactly
+three suppressed ones.
+"""
+
+import time
+
+import random  # repro: allow[determinism]
+
+
+def stamp() -> float:
+    # repro: allow[determinism]
+    return time.time()
+
+
+def entropy() -> float:
+    return random.random() + time.time()  # repro: allow[*]

@@ -1,0 +1,12 @@
+"""Known-bad corpus for ``wire-version``: layout drift without a bump.
+
+Every layout constant below differs from the fingerprint pinned for wire
+version 1 in ``repro.analysis.rules.wire_version.WIRE_REGISTRY``.
+"""
+
+import struct
+
+WIRE_VERSION = 1
+WIRE_MAGIC = b"ECG0"  # expect[wire-version]
+HEADER = struct.Struct("<4sBBHIIId")  # expect[wire-version]
+DTYPE_CODES = {0: "f4", 1: "f8", 2: "i2"}  # expect[wire-version]

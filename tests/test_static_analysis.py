@@ -1,0 +1,68 @@
+"""Tier-1 bridge: the invariant linter gates the pytest run.
+
+``test_src_repro_has_no_findings`` runs the full default rule set over
+``src/repro`` — the same thing ``python -m repro.analysis src/repro`` (and
+the CI ``static-analysis`` job) does — so a violated invariant fails the
+test suite with the analyzer's own report before any behavioural test gets
+a chance to miss it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import default_rules, run_paths
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def test_src_repro_has_no_findings():
+    report = run_paths([SRC_REPRO])
+    assert report.files_checked > 50, "expected to lint the whole package"
+    assert report.ok, "\n" + report.format()
+
+
+def test_cli_clean_tree_exits_zero(capsys):
+    assert main([str(SRC_REPRO)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_cli_lists_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in default_rules():
+        assert rule.rule_id in out
+        assert rule.invariant.splitlines()[0][:30] in out
+
+
+def test_cli_reports_findings_and_exits_one(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\n\ndef stamp() -> float:\n    return time.time()\n")
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "[determinism]" in out
+    assert "hint:" in out
+    assert "1 finding(s)" in out
+
+
+def test_cli_rejects_bad_paths_with_exit_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.txt")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_paths_reports_suppression_counts(tmp_path):
+    tracked = tmp_path / "tracked.py"
+    tracked.write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp() -> float:\n"
+        "    return time.time()  # repro: allow[determinism]\n"
+    )
+    report = run_paths([tmp_path])
+    assert report.ok
+    assert report.files_checked == 1
+    assert report.suppressed == 1

@@ -20,12 +20,16 @@ hosts.  Decisions must agree decision-for-decision with the single fleet.
 
 import asyncio
 import gc
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.quant import QuantizationConfig, QuantizedSVM
 from repro.serving import (
+    AutoscaleConfig,
+    AutoscaleController,
     IngestGateway,
     ModelRegistry,
     MonitorFleet,
@@ -70,6 +74,29 @@ RESHARD_PATIENTS = 128
 RESHARD_WINDOWS = 2048
 RESHARD_FROM = 4
 RESHARD_TO = 8
+
+#: Autoscale workload: a diurnal load cycle over a large fleet, driven by the
+#: closed-loop controller on a deterministic simulated clock.
+AUTOSCALE_PATIENTS = 1000
+AUTOSCALE_DAY_LOAD = 400  # windows enqueued per simulated tick at peak
+AUTOSCALE_NIGHT_LOAD = 20
+AUTOSCALE_PHASE_TICKS = 15
+AUTOSCALE_TICK_S = 10.0
+AUTOSCALE_CONFIG = AutoscaleConfig(
+    min_shards=2,
+    max_shards=8,
+    high_pending_per_shard=60.0,
+    low_pending_per_shard=15.0,
+    high_age_s=10_000.0,
+    cooldown_s=30.0,
+    ewma_half_life_s=20.0,
+    gap_reset_s=100_000.0,
+    cusum_threshold=1_000.0,
+)
+
+#: Committed per-commit trajectory record (deterministic fields only, so the
+#: file changes exactly when controller behaviour does).
+AUTOSCALE_RECORD = Path(__file__).with_name("BENCH_autoscale.json")
 
 
 def _measure(detector, X):
@@ -509,3 +536,138 @@ def test_bench_ingest_gateway_throughput(benchmark, experiment_data):
             gateway_fleet.monitor(pid).time_seen_s
             == direct_fleet.monitor(pid).time_seen_s
         )
+
+
+class _SimClock:
+    """Deterministic monotonic clock driving the autoscale simulation."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _measure_autoscale(detector, X):
+    """A diurnal day/night/day/night load cycle under the closed loop.
+
+    Wall time covers the whole simulation (enqueue + controller planning +
+    autonomous reshards + drains); each autonomous reshard is also timed
+    individually — that migration cost, together with the shards-over-time
+    trajectory, is the per-commit record this bench maintains.
+    """
+    clock = _SimClock()
+    fleet = ShardedFleet(
+        detector, FS, n_shards=AUTOSCALE_CONFIG.min_shards, clock=clock
+    )
+    controller = AutoscaleController(fleet, AUTOSCALE_CONFIG, clock=clock)
+    rng = np.random.default_rng(7)
+    counters = {}
+    trajectory = []
+    action_log = []
+    tick = 0
+    t0 = time.perf_counter()
+    phases = (AUTOSCALE_DAY_LOAD, AUTOSCALE_NIGHT_LOAD) * 2
+    for load in phases:
+        for _ in range(AUTOSCALE_PHASE_TICKS):
+            tick += 1
+            clock.now += AUTOSCALE_TICK_S
+            windows = []
+            for _ in range(load):
+                pid = int(rng.integers(0, AUTOSCALE_PATIENTS))
+                index = counters.get(pid, 0)
+                counters[pid] = index + 1
+                windows.append(
+                    PendingWindow(
+                        patient_id=pid,
+                        start_s=180.0 * index,
+                        end_s=180.0 * index + 180.0,
+                        n_beats=200,
+                        features=X[(pid + index) % X.shape[0]],
+                    )
+                )
+            fleet.enqueue(windows)
+            r0 = time.perf_counter()
+            decision = controller.step(now=clock.now)
+            step_ms = 1e3 * (time.perf_counter() - r0)
+            if decision.action != "hold":
+                action_log.append(
+                    dict(
+                        tick=tick,
+                        action=decision.action,
+                        to_shards=decision.to_shards,
+                        moved=decision.moved,
+                        reshard_ms=round(step_ms, 3),
+                    )
+                )
+            fleet.drain()
+            trajectory.append(fleet.n_shards)
+    t_sim = time.perf_counter() - t0
+    return trajectory, action_log, t_sim
+
+
+def test_bench_autoscale_diurnal_cycle(benchmark, experiment_data):
+    """Closed-loop autoscaling under a bursty diurnal cycle, end to end.
+
+    Records the shards-over-time trajectory and the migration cost of every
+    autonomous action — both into the pytest-benchmark JSON (``extra_info``,
+    uploaded per commit in CI) and into the committed
+    ``benchmarks/BENCH_autoscale.json`` trajectory file, whose deterministic
+    fields change exactly when controller behaviour changes.  The acceptance
+    bars pin convergence: the controller grows the fleet through the peak,
+    shrinks it through the trough, and never exceeds one min↔max traversal's
+    worth of actions per load transition.
+    """
+    features = experiment_data.features
+    model = train_svm(features.X, features.y)
+    detector = QuantizedSVM(model, QuantizationConfig(feature_bits=9, coeff_bits=15))
+
+    trajectory, action_log, t_sim = run_once(
+        benchmark, _measure_autoscale, detector, features.X
+    )
+
+    ticks = len(trajectory)
+    total_windows = 2 * AUTOSCALE_PHASE_TICKS * (AUTOSCALE_DAY_LOAD + AUTOSCALE_NIGHT_LOAD)
+    moved_total = sum(a["moved"] for a in action_log)
+    print()
+    print(
+        "autoscale diurnal cycle   : %d patients, %d ticks, %d windows"
+        % (AUTOSCALE_PATIENTS, ticks, total_windows)
+    )
+    print(
+        "controller actions        : %d (%d up, %d down), %d patients migrated"
+        % (
+            len(action_log),
+            sum(1 for a in action_log if a["action"] == "up"),
+            sum(1 for a in action_log if a["action"] == "down"),
+            moved_total,
+        )
+    )
+    print(
+        "shards over time          : min %d, max %d, final %d"
+        % (min(trajectory), max(trajectory), trajectory[-1])
+    )
+    print("simulated cycle wall time : %8.2f ms" % (1e3 * t_sim))
+
+    # Per-commit record: benchmark JSON (timings included) ...
+    benchmark.extra_info["trajectory"] = trajectory
+    benchmark.extra_info["actions"] = action_log
+    benchmark.extra_info["patients_migrated"] = moved_total
+    # ... and the committed trajectory file (deterministic fields only).
+    record = dict(
+        patients=AUTOSCALE_PATIENTS,
+        day_load=AUTOSCALE_DAY_LOAD,
+        night_load=AUTOSCALE_NIGHT_LOAD,
+        trajectory=trajectory,
+        actions=[{k: v for k, v in a.items() if k != "reshard_ms"} for a in action_log],
+        patients_migrated=moved_total,
+    )
+    AUTOSCALE_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+
+    # Convergence acceptance bars.
+    span = AUTOSCALE_CONFIG.max_shards - AUTOSCALE_CONFIG.min_shards
+    assert max(trajectory) >= 5  # grew through the peak
+    assert trajectory[-1] <= 3  # shrank through the final trough
+    assert 0 < len(action_log) <= 4 * span  # bounded: no thrash
+    for action in action_log:
+        assert action["moved"] <= 0.6 * AUTOSCALE_PATIENTS  # cost model held

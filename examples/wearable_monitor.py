@@ -19,15 +19,17 @@ scale — and the paper's actual premise: every patient runs their own
    :mod:`repro.serving.wire`),
 4. *push* the frames the way real nodes do: every patient opens its own TCP
    connection to an :class:`~repro.serving.ingest.IngestGateway`; the
-   gateway's pump feeds a 4-shard
+   gateway's pump feeds a deliberately under-provisioned 2-shard
    :class:`~repro.serving.sharding.ShardedFleet` whose drains classify the
    pending windows of all patients in one vectorised call *per model group*
    (the registry is routing-invariant: a patient's model follows them to
    whichever shard the hash ring picks),
-5. scale the fleet out **live** from 4 to 8 shards halfway through the run:
-   the gateway quiesces exactly the patients the hash ring reassigns,
-   migrates their full monitor state between shards and resumes delivery —
-   zero frames or decisions lost, nodes never reconnect,
+5. let the fleet scale **itself**: an
+   :class:`~repro.serving.autoscale.AutoscaleController` wired into the
+   gateway watches queue pressure, and when the sixteen concurrent nodes
+   overwhelm two shards it reshards live — quiescing exactly the patients
+   the hash ring reassigns, migrating their full monitor state and resuming
+   delivery — zero frames or decisions lost, nodes never reconnect,
 6. print the per-patient alarm summaries next to the expert annotations,
    plus the gateway's per-model drain ledger, and
 7. report the energy each *design point* bills its wearers' accelerators —
@@ -47,6 +49,8 @@ from repro.hardware.technology import TECH_40NM
 from repro.quant import QuantizedSVMBackend
 from repro.serving import (
     AnyOf,
+    AutoscaleConfig,
+    AutoscaleController,
     ChunkCountPolicy,
     IngestGateway,
     ModelRegistry,
@@ -58,15 +62,28 @@ from repro.signals.dataset import CohortParams, generate_cohort
 from repro.signals.ecg_model import synthesize_ecg
 from repro.signals.windows import WindowingParams, window_label
 
-#: Monitored fleet size (one wireless node per patient) and shard count.
+#: Monitored fleet size (one wireless node per patient) and the deliberately
+#: under-provisioned starting shard count — the autoscaler grows it.
 N_PATIENTS = 16
-N_SHARDS = 4
-#: Mid-run the fleet scales out live to this many shards: once every node
-#: has pushed half its frames, the gateway quiesces exactly the patients the
-#: hash ring reassigns, migrates their monitor state (DSP carry-over,
-#: partial windows, sequence positions, queued windows) and resumes — with
-#: zero decision loss, pinned by the ledger assertions below.
-RESHARD_TO = 8
+N_SHARDS = 2
+#: Closed-loop autoscaling: the controller samples fleet + gateway queue
+#: pressure after every delivered frame and reshards live when the smoothed
+#: per-shard load leaves the hysteresis band.  Sixteen concurrent nodes
+#: against two shards is an immediate overload, so the thresholds are tuned
+#: for this burst (a real deployment would use seconds-scale half-lives and
+#: cooldowns; the signals and machinery are identical).  Every autonomous
+#: reshard quiesces exactly the patients the hash ring reassigns, migrates
+#: their monitor state (DSP carry-over, partial windows, sequence positions,
+#: queued windows) and resumes — with zero decision loss, pinned by the
+#: ledger assertions below.
+AUTOSCALE = AutoscaleConfig(
+    min_shards=N_SHARDS,
+    max_shards=8,
+    high_pending_per_shard=4.0,
+    low_pending_per_shard=0.25,
+    cooldown_s=0.0,
+    ewma_half_life_s=0.05,
+)
 #: Seconds of ECG per transmitted chunk (~30 s at 128 Hz).
 CHUNK_SAMPLES = 3840
 #: Drain whenever 32 windows are pending, or every 64 received frames,
@@ -112,57 +129,34 @@ DESIGN_POINTS = [
 ]
 
 
-async def stream_through_gateway(fleet, frames, reshard_to=None):
+async def stream_through_gateway(fleet, frames, autoscaler=None):
     """Push every node's frames through a real localhost TCP socket.
 
     One connection per wireless node, all sixteen concurrent — the gateway
     multiplexes them, applies per-patient backpressure and drives the
-    sharded fleet's drain policy.  With ``reshard_to``, the fleet scales out
-    *live* once every node has transmitted half its frames: the sensors
-    pause mid-stream (every monitor holds partial-window DSP state), the
-    gateway migrates the reassigned patients, and transmission resumes
-    against the new topology — no node ever reconnects or retransmits.
-    Returns the canonically ordered decisions, the gateway's frame ledger
-    and the migrated ``{patient: (old_shard, new_shard)}`` mapping.
+    sharded fleet's drain policy.  With an ``autoscaler``, the gateway also
+    re-plans capacity after every delivered frame: when the controller's
+    smoothed per-shard pressure crosses its high-water mark the fleet
+    reshards *live*, mid-stream (every monitor holds partial-window DSP
+    state at that moment) — no node ever reconnects or retransmits.
+    Returns the canonically ordered decisions and the gateway's ledger.
     """
-    gateway = IngestGateway(fleet, queue_depth=QUEUE_DEPTH, backpressure="block")
+    gateway = IngestGateway(
+        fleet, queue_depth=QUEUE_DEPTH, backpressure="block", autoscaler=autoscaler
+    )
     host, port = await gateway.serve()
-
-    resume = asyncio.Event()
-    if reshard_to is None:
-        resume.set()
 
     async def node(patient_id, node_frames):
         _, writer = await asyncio.open_connection(host, port)
-        mid = len(node_frames) // 2
-        for seq, frame in enumerate(node_frames):
-            if seq == mid:
-                # Pause mid-transmission: every monitor now holds partial-
-                # window DSP state, which is exactly what must migrate.
-                await resume.wait()
+        for frame in node_frames:
             writer.write(frame)
             await writer.drain()
         writer.close()
         await writer.wait_closed()
 
-    async def scale_out():
-        if reshard_to is None:
-            return {}
-        # Writer-side progress means nothing (sockets buffer); wait until the
-        # *fleet* has consumed every frame sent before the pause points, so
-        # the reshard migrates genuinely mid-stream monitors.
-        target = sum(len(node_frames) // 2 for node_frames in frames.values())
-        while gateway.stats().frames_delivered < target:
-            await asyncio.sleep(0.01)
-        migrated = await gateway.reshard(reshard_to)
-        resume.set()
-        return migrated
-
-    results = await asyncio.gather(
-        scale_out(), *[node(pid, f) for pid, f in sorted(frames.items())]
-    )
+    await asyncio.gather(*[node(pid, f) for pid, f in sorted(frames.items())])
     decisions = await gateway.stop()
-    return decisions, gateway.stats(), results[0]
+    return decisions, gateway.stats()
 
 
 def main() -> None:
@@ -264,22 +258,33 @@ def main() -> None:
     # Every node pushes its frames over its own TCP connection; the gateway
     # reassembles, queues and delivers them, polling the drain policy.  Every
     # drain classifies the pending windows in one vectorised call per model
-    # group, whatever mix of design points is pending.  Halfway through, the
-    # fleet scales out live from 4 to 8 shards.
-    decisions, gateway_stats, migrated = asyncio.run(
-        stream_through_gateway(fleet, frames, reshard_to=RESHARD_TO)
+    # group, whatever mix of design points is pending.  The autoscale
+    # controller rides the same pump loop and grows the fleet live as the
+    # burst overwhelms the two starting shards.
+    controller = AutoscaleController(fleet, AUTOSCALE)
+    decisions, gateway_stats = asyncio.run(
+        stream_through_gateway(fleet, frames, autoscaler=controller)
     )
     print(
-        "Live reshard %d -> %d shards mid-run: %d patients migrated"
-        " (monitor state, partial windows and queued frames followed them):"
-        % (N_SHARDS, RESHARD_TO, len(migrated))
+        "Closed-loop autoscaling: %d autonomous reshard(s), %d -> %d shards"
+        " (monitor state, partial windows and queued frames migrated live):"
+        % (len(controller.actions), N_SHARDS, fleet.n_shards)
     )
-    by_new_shard = {}
-    for patient_id, (_, new_shard) in sorted(migrated.items()):
-        by_new_shard.setdefault(new_shard, []).append(patient_id)
-    for shard in sorted(by_new_shard):
-        print("  shard %d <- patients %s" % (shard, by_new_shard[shard]))
-    assert gateway_stats.reshards == 1
+    for decision in controller.actions:
+        print(
+            "  %-4s -> %d shards  (%s, pressure %.1f windows/shard,"
+            " %d patients migrated)"
+            % (
+                decision.action,
+                decision.to_shards,
+                decision.reason,
+                decision.pressure,
+                decision.moved,
+            )
+        )
+    assert gateway_stats.reshards >= 1
+    assert gateway_stats.autoscale_actions == len(controller.actions)
+    assert max(d.to_shards for d in controller.actions) > N_SHARDS
     print(
         "Streamed %d frames over %d TCP connections through %d shards;"
         % (gateway_stats.frames_delivered, gateway_stats.connections, fleet.n_shards)

@@ -68,6 +68,13 @@ from repro.serving.streaming import (
     WindowDecision,
     classify_windows,
 )
+from repro.serving.autoscale import (
+    AutoscaleConfig,
+    AutoscaleController,
+    AutoscaleDecision,
+    Cusum,
+    Ewma,
+)
 from repro.serving.fleet import MonitorFleet, decision_sort_key
 from repro.serving.ingest import (
     BACKPRESSURE_POLICIES,
@@ -127,6 +134,11 @@ __all__ = [
     "PendingWindowPolicy",
     "LatencyPolicy",
     "AnyOf",
+    "AutoscaleController",
+    "AutoscaleConfig",
+    "AutoscaleDecision",
+    "Ewma",
+    "Cusum",
     "IngestGateway",
     "GatewayStats",
     "BackpressureError",

@@ -286,7 +286,7 @@ class MonitorFleet:
             )
         return replace(state, pending=tuple(moved))
 
-    def import_patient(self, state: MonitorState) -> int:
+    def import_patient(self, state: MonitorState, pending_age_s: float = 0.0) -> int:
         """Atomically attach a migrated patient: monitor plus queued windows.
 
         The inverse of :meth:`export_patient`: revives the monitor (when the
@@ -295,6 +295,14 @@ class MonitorFleet:
         source fleet would have.  Import is an explicit ownership transfer —
         it bypasses the ``auto_register`` contract the same way
         :meth:`add_patient` does.
+
+        ``pending_age_s`` is how long the state's pending windows had already
+        waited on the source fleet: the oldest-pending clock is back-dated by
+        that much, so a migrated window keeps its age in this fleet's
+        :meth:`stats` instead of looking freshly arrived — a
+        :class:`~repro.serving.scheduler.LatencyPolicy` bound must not be
+        extended by a mid-wait migration.  Ages are durations, so the value
+        transfers safely between fleets with unsynchronised clocks.
 
         Returns the fleet's new pending-window count (like :meth:`push`).
         Raises :class:`KeyError` if the patient is already monitored here and
@@ -319,6 +327,10 @@ class MonitorFleet:
             self._monitors[patient_id] = StreamingMonitor.from_snapshot(state)
         if state.pending:
             self._queue(list(state.pending))
+            if pending_age_s > 0.0:
+                backdated = self._clock() - float(pending_age_s)
+                if self._oldest_pending_t is None or backdated < self._oldest_pending_t:
+                    self._oldest_pending_t = backdated
         return len(self._pending)
 
     def _monitor_for_push(self, patient_id: int) -> StreamingMonitor:

@@ -54,7 +54,7 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Mapping, Optional
 
 from repro.serving.fleet import decision_sort_key
 from repro.serving.scheduler import DrainPolicy
@@ -66,6 +66,9 @@ from repro.serving.wire import (
     WireFormatError,
     decode_chunk,
 )
+
+if TYPE_CHECKING:  # typing-only: autoscale also type-imports from here
+    from repro.serving.autoscale import AutoscaleController
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
@@ -131,6 +134,9 @@ class GatewayStats:
     uptime_s: float
     #: Live reshards completed through :meth:`IngestGateway.reshard`.
     reshards: int = 0
+    #: Reshards initiated by the gateway's own autoscale controller (a
+    #: subset of :attr:`reshards`).
+    autoscale_actions: int = 0
     #: Window decisions per model label (the registry's per-backend
     #: ``describe()`` signature) — the observability half of a heterogeneous
     #: fleet: which design points are actually doing the classifying.  Empty
@@ -205,6 +211,14 @@ class IngestGateway:
     clock:
         Monotonic time source for :attr:`GatewayStats.uptime_s`; injectable
         for deterministic tests.
+    autoscaler:
+        Optional :class:`~repro.serving.autoscale.AutoscaleController` over
+        the same fleet.  The pump loop then runs one control tick after each
+        delivered frame and on every idle tick: the controller plans from
+        the live :meth:`stats` snapshot, and a non-hold decision executes
+        through the gateway's own quiescing :meth:`reshard` — so autonomous
+        topology changes get exactly the zero-frame-loss treatment manual
+        ones do.  Requires a fleet that supports live resharding.
     """
 
     def __init__(
@@ -218,6 +232,7 @@ class IngestGateway:
         close_grace_s: float = 1.0,
         enforce_seq: Optional[bool] = None,
         clock: Callable[[], float] = time.monotonic,
+        autoscaler: Optional["AutoscaleController"] = None,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ValueError(
@@ -267,6 +282,15 @@ class IngestGateway:
         #: arriving and queue under the normal backpressure policies.
         self._quiesced: set = set()
         self._reshards = 0
+        if autoscaler is not None and (
+            not hasattr(fleet, "preview_reshard") or not hasattr(fleet, "reshard")
+        ):
+            raise TypeError(
+                "autoscaler needs a fleet that supports live resharding; "
+                "%r does not" % type(fleet).__name__
+            )
+        self._autoscaler = autoscaler
+        self._autoscale_actions = 0
 
     # -------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -612,10 +636,28 @@ class IngestGateway:
             self._drains += 1
             self._emit(decisions)
 
+    async def _maybe_autoscale(self) -> None:
+        """One autoscale control tick, if a controller is installed.
+
+        Planning is synchronous (cheap local counters only); a non-hold
+        decision executes through :meth:`reshard`, whose quiesce window is
+        the only suspension — and by the pump-loop contract nothing else
+        delivers frames while this coroutine is parked there.
+        """
+        if self._autoscaler is None or self._closing:
+            return
+        decision = self._autoscaler.plan(gateway_stats=self.stats())
+        if decision.action == "hold":
+            return
+        await self.reshard(decision.to_shards)
+        self._autoscaler.note_action(decision)
+        self._autoscale_actions += 1
+
     async def _pump_loop(self) -> None:
         while True:
             if self._deliver_one():
                 self._poll_drain()
+                await self._maybe_autoscale()
                 # Yield between frames so producers (and the shed/reject
                 # bookkeeping they run) interleave with delivery.
                 await asyncio.sleep(0)
@@ -629,12 +671,18 @@ class IngestGateway:
             if any(pid not in self._quiesced for pid in self._order):
                 self._data.set()
                 continue
-            timeout = self.poll_interval_s if self.fleet.drain_policy is not None else None
+            timeout = (
+                self.poll_interval_s
+                if self.fleet.drain_policy is not None or self._autoscaler is not None
+                else None
+            )
             try:
                 await asyncio.wait_for(self._data.wait(), timeout)
             except asyncio.TimeoutError:
-                # Idle tick: give time-based drain policies their poll.
+                # Idle tick: give time-based drain policies (and the
+                # autoscaler, which may owe a scale-down) their poll.
                 self._poll_drain()
+                await self._maybe_autoscale()
 
     # ----------------------------------------------------------------- stats
     def stats(self) -> GatewayStats:
@@ -658,5 +706,6 @@ class IngestGateway:
             drains=self._drains,
             uptime_s=uptime,
             reshards=self._reshards,
+            autoscale_actions=self._autoscale_actions,
             drained_by_model=dict(self._drained_by_model),
         )

@@ -86,26 +86,55 @@ class HashRing:
     shard the load spread is ~``1/sqrt(R)`` and growing the fleet from N to
     N+1 shards reassigns only ~``1/(N+1)`` of the patients — the property
     that makes live resharding of long-running monitors tractable.
+
+    ``weights`` makes the ring *heterogeneous*: shard ``i`` claims
+    ``max(1, round(replicas * weights[i]))`` ring points, so a host with
+    weight 2.0 owns ~twice the key range (and therefore ~twice the
+    patients) of a weight-1.0 host.  Weights are absolute multipliers, not
+    normalised shares: a shard's points depend only on its *own* weight, so
+    resizing the fleet (or re-weighting one shard) never moves patients
+    between shards whose weights are unchanged — the minimal-movement
+    property survives heterogeneity.
     """
 
-    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+    def __init__(
+        self,
+        n_shards: int,
+        replicas: int = 64,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
         if replicas <= 0:
             raise ValueError("replicas must be positive")
         self.n_shards = int(n_shards)
         self.replicas = int(replicas)
-        points = np.empty(self.n_shards * self.replicas, dtype=np.uint64)
-        owners = np.empty(points.shape[0], dtype=np.int64)
-        for shard in range(self.n_shards):
-            for replica in range(self.replicas):
-                points[shard * self.replicas + replica] = self._point(
-                    "shard:%d:%d" % (shard, replica)
+        if weights is None:
+            resolved = (1.0,) * self.n_shards
+        else:
+            resolved = tuple(float(w) for w in weights)
+            if len(resolved) != self.n_shards:
+                raise ValueError(
+                    "weights has %d entries for %d shards" % (len(resolved), self.n_shards)
                 )
-                owners[shard * self.replicas + replica] = shard
+            if any(w <= 0.0 for w in resolved):
+                raise ValueError("shard weights must be positive")
+        self.weights = resolved
+        point_list: List[int] = []
+        owner_list: List[int] = []
+        for shard in range(self.n_shards):
+            for replica in range(self._points_for(shard)):
+                point_list.append(self._point("shard:%d:%d" % (shard, replica)))
+                owner_list.append(shard)
+        points = np.asarray(point_list, dtype=np.uint64)
+        owners = np.asarray(owner_list, dtype=np.int64)
         order = np.argsort(points, kind="stable")
         self._points = points[order]
         self._owners = owners[order]
+
+    def _points_for(self, shard: int) -> int:
+        """Ring points shard ``shard`` claims (its weight times ``replicas``)."""
+        return max(1, int(round(self.replicas * self.weights[shard])))
 
     @staticmethod
     def _point(key: str) -> int:
@@ -117,7 +146,33 @@ class HashRing:
         idx = int(np.searchsorted(self._points, np.uint64(point), side="left"))
         return int(self._owners[idx % self._owners.shape[0]])
 
-    def with_n_shards(self, n_shards: int, patient_ids: Iterable[int] = ()) -> tuple:
+    def resized_weights(
+        self, n_shards: int, weights: Optional[Sequence[float]] = None
+    ) -> tuple:
+        """The weight vector a resize to ``n_shards`` would use.
+
+        With explicit ``weights`` they are validated and returned verbatim;
+        otherwise the current weights are truncated (shrink) or extended
+        with 1.0 entries (grow) — new shards default to homogeneous hosts.
+        """
+        n_shards = int(n_shards)
+        if weights is not None:
+            resolved = tuple(float(w) for w in weights)
+            if len(resolved) != n_shards:
+                raise ValueError(
+                    "weights has %d entries for %d shards" % (len(resolved), n_shards)
+                )
+            return resolved
+        if n_shards <= len(self.weights):
+            return self.weights[:n_shards]
+        return self.weights + (1.0,) * (n_shards - len(self.weights))
+
+    def with_n_shards(
+        self,
+        n_shards: int,
+        patient_ids: Iterable[int] = (),
+        weights: Optional[Sequence[float]] = None,
+    ) -> tuple:
         """The ring resized to ``n_shards``, plus the patients that move.
 
         Returns ``(ring, moved)`` where ``moved`` maps each reassigned
@@ -130,8 +185,17 @@ class HashRing:
         migration workload of a live reshard
         (:meth:`ShardedFleet.reshard`), pinned by
         ``tests/test_serving_reshard.py``.
+
+        ``weights`` follows :meth:`resized_weights`: omitted, the surviving
+        shards keep their current weights (their ring points are then
+        identical in both rings and minimal movement holds); passing a
+        changed weight for a surviving shard is legal but that shard's key
+        range is re-cut, so more patients move — ``moved`` is exact either
+        way.
         """
-        ring = HashRing(n_shards, replicas=self.replicas)
+        ring = HashRing(
+            n_shards, replicas=self.replicas, weights=self.resized_weights(n_shards, weights)
+        )
         moved = {}
         for patient_id in patient_ids:
             patient_id = int(patient_id)
@@ -372,6 +436,10 @@ class ShardedFleet:
         Monotonic time source for the in-process backends' latency stats.
     replicas:
         Ring points per shard for the :class:`HashRing`.
+    shard_weights:
+        Optional per-shard :class:`HashRing` weights for heterogeneous
+        hosts: a shard with weight 2.0 is routed ~twice the patients of a
+        weight-1.0 shard.  ``None`` (default) is a homogeneous fleet.
     """
 
     def __init__(
@@ -386,6 +454,7 @@ class ShardedFleet:
         auto_register: bool = True,
         clock: Callable[[], float] = time.monotonic,
         replicas: int = 64,
+        shard_weights: Optional[Sequence[float]] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError("unknown backend %r (choose from %s)" % (backend, _BACKENDS))
@@ -400,7 +469,7 @@ class ShardedFleet:
         self.auto_register = bool(auto_register)
         self.windowing = windowing
         self.detector_params = detector_params
-        self.ring = HashRing(self.n_shards, replicas=replicas)
+        self.ring = HashRing(self.n_shards, replicas=replicas, weights=shard_weights)
         self._clock = clock
         # The registry is routing-invariant: every shard classifies with the
         # *same* patient->model mapping, so a patient's tailored model follows
@@ -571,23 +640,32 @@ class ShardedFleet:
             self._oldest_pending_t = None
 
     # ------------------------------------------------------------ resharding
-    def preview_reshard(self, n_shards: int) -> Dict[int, tuple]:
+    def preview_reshard(
+        self, n_shards: int, weights: Optional[Sequence[float]] = None
+    ) -> Dict[int, tuple]:
         """The migration :meth:`reshard` to ``n_shards`` would perform.
 
         Maps each patient that would move to their ``(old_shard, new_shard)``
         pair, without touching anything — the quiesce set an
         :class:`~repro.serving.ingest.IngestGateway` freezes before starting
-        the real migration.
+        the real migration, and the cost model an autoscale controller
+        weighs against expected latency relief before committing.
         """
         n_shards = int(n_shards)
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
-        if n_shards == self.n_shards:
+        if n_shards == self.n_shards and (
+            weights is None or tuple(float(w) for w in weights) == self.ring.weights
+        ):
             return {}
-        _, moved = self.ring.with_n_shards(n_shards, sorted(self._known_patients))
+        _, moved = self.ring.with_n_shards(
+            n_shards, sorted(self._known_patients), weights=weights
+        )
         return moved
 
-    def reshard(self, n_shards: int) -> Dict[int, tuple]:
+    def reshard(
+        self, n_shards: int, weights: Optional[Sequence[float]] = None
+    ) -> Dict[int, tuple]:
         """Change the shard count live, with zero-loss state migration.
 
         Only the minimally reassigned patients move (the
@@ -599,12 +677,25 @@ class ShardedFleet:
         pipes; new workers are born with a replica of the current
         :class:`~repro.serving.registry.ModelRegistry`, and the in-process
         backends keep sharing the parent's, so every patient's tailored model
-        follows them unchanged.
+        follows them unchanged.  ``weights`` re-cuts the ring per
+        :meth:`HashRing.resized_weights` (same-count reshards with changed
+        weights are legal — that is a pure rebalance).
 
         The headline guarantee (pinned by ``tests/test_serving_reshard.py``):
         for any schedule of reshards interleaved with traffic, the fleet's
         decisions are bit-identical to a never-resharded fleet over the same
         pushes and drains.
+
+        Failure atomicity: every moving patient is exported *before* any
+        counter or topology mutation.  If an export raises, the states
+        already collected are restored to their old shards and the original
+        exception propagates — the fleet is left exactly as it was, and the
+        call is retryable.  (A failure while *importing* into the new
+        topology cannot be rolled back the same way — the old topology is
+        gone — and raises a :class:`RuntimeError` naming the orphaned
+        patients; with in-process backends this is unreachable, as
+        ``import_patient`` validates nothing that ``export_patient`` has not
+        already produced.)
 
         Returns the migrated mapping ``{patient_id: (old_shard, new_shard)}``.
         Not safe to call concurrently with pushes or drains from other
@@ -614,25 +705,62 @@ class ShardedFleet:
         n_shards = int(n_shards)
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
-        if n_shards == self.n_shards:
+        if n_shards == self.n_shards and (
+            weights is None or tuple(float(w) for w in weights) == self.ring.weights
+        ):
             return {}
-        new_ring, moved = self.ring.with_n_shards(n_shards, sorted(self._known_patients))
-        # 1. Detach every moving patient while all old shards are still up.
-        states = []
-        for patient_id in sorted(moved):
-            old_shard, new_shard = moved[patient_id]
-            try:
-                state = self._backend.call(old_shard, "export_patient", patient_id)
-            except KeyError:
-                # Known only through since-drained enqueued windows: the ring
-                # reassigns their *routing*, but there is no state to move.
-                continue
+        new_ring, moved = self.ring.with_n_shards(
+            n_shards, sorted(self._known_patients), weights=weights
+        )
+        # 1. Detach every moving patient while all old shards are still up,
+        #    touching *no* fleet state until every export has succeeded — a
+        #    dead worker mid-migration must leave the fleet exactly as found.
+        #    Each source shard's oldest-pending age is captured first so the
+        #    migrated windows don't look freshly-arrived on their new shard
+        #    (ages are durations, safe across the process backend's clocks;
+        #    the shard-level maximum is a conservative upper bound per
+        #    patient, which only ever makes LatencyPolicy fire sooner).
+        source_age: Dict[int, float] = {}
+        states: List[tuple] = []
+        try:
+            for patient_id in sorted(moved):
+                old_shard, new_shard = moved[patient_id]
+                if old_shard not in source_age:
+                    source_age[old_shard] = self._backend.call(
+                        old_shard, "stats"
+                    ).oldest_pending_age_s
+                try:
+                    state = self._backend.call(old_shard, "export_patient", patient_id)
+                except KeyError:
+                    # Known only through since-drained enqueued windows: the
+                    # ring reassigns their *routing*, but there is no state
+                    # to move.
+                    continue
+                states.append((old_shard, new_shard, state))
+        except Exception:
+            # Roll back: restore every state already detached to its old
+            # shard (still present — the topology was never touched).
+            for old_shard, _, state in states:
+                self._backend.call(
+                    old_shard,
+                    "import_patient",
+                    state,
+                    pending_age_s=source_age.get(old_shard, 0.0),
+                )
+            raise
+        # 2. All exports in hand: account the detached windows.  A negative
+        #    count here means the local ledger and the shards disagree —
+        #    fail loudly rather than schedule drains off corrupt counters.
+        for old_shard, _, state in states:
             if state.pending:
-                self._pending_by_shard[old_shard] = self._pending_by_shard.get(
-                    old_shard, 0
-                ) - len(state.pending)
-            states.append((new_shard, state))
-        # 2. Resize the executor topology.  Surviving shard indices keep
+                remaining = self._pending_by_shard.get(old_shard, 0) - len(state.pending)
+                if remaining < 0:
+                    raise RuntimeError(
+                        "pending count of shard %d went negative (%d) during reshard"
+                        % (old_shard, remaining)
+                    )
+                self._pending_by_shard[old_shard] = remaining
+        # 3. Resize the executor topology.  Surviving shard indices keep
         #    their fleet objects / worker processes (their ring points are
         #    unchanged, so their patients never noticed anything).
         self._resize_backend(n_shards)
@@ -645,16 +773,42 @@ class ShardedFleet:
                 raise RuntimeError(
                     "removed shard %d still held %d pending windows" % (shard, leftover)
                 )
-        # 3. Attach the migrated states to their new owners.
-        for new_shard, state in states:
-            self._note_pending(new_shard, self._backend.call(new_shard, "import_patient", state))
+        # 4. Attach the migrated states to their new owners, carrying each
+        #    source shard's queue age along.
+        orphaned: List[int] = []
+        import_error: Optional[Exception] = None
+        for old_shard, new_shard, state in states:
+            if import_error is not None:
+                orphaned.append(int(state.patient_id))
+                continue
+            try:
+                self._note_pending(
+                    new_shard,
+                    self._backend.call(
+                        new_shard,
+                        "import_patient",
+                        state,
+                        pending_age_s=source_age.get(old_shard, 0.0),
+                    ),
+                )
+            except Exception as exc:
+                import_error = exc
+                orphaned.append(int(state.patient_id))
+        if import_error is not None:
+            raise RuntimeError(
+                "reshard to %d shards failed importing migrated state; "
+                "orphaned patients: %s" % (n_shards, sorted(orphaned))
+            ) from import_error
         if sum(self._pending_by_shard.values()) == 0:
             self._oldest_pending_t = None
         return moved
 
-    def add_shard(self) -> Dict[int, tuple]:
-        """Grow the fleet by one shard; returns the migrated patients."""
-        return self.reshard(self.n_shards + 1)
+    def add_shard(self, weight: float = 1.0) -> Dict[int, tuple]:
+        """Grow the fleet by one shard (of ring weight ``weight``); returns
+        the migrated patients."""
+        return self.reshard(
+            self.n_shards + 1, weights=self.ring.weights + (float(weight),)
+        )
 
     def remove_shard(self) -> Dict[int, tuple]:
         """Shrink the fleet by one shard (the highest index); returns the
@@ -682,8 +836,23 @@ class ShardedFleet:
 
         Scheduling decisions use :meth:`local_stats` instead (exact and
         sweep-free); this sweep is for observability and tests.
+
+        Contract: ``chunks_since_drain`` counts chunks since the last
+        *fully-successful fleet-wide* drain, on both snapshots.  The wrapper
+        counter is the authority and overrides the per-shard sum here:
+        after a partial drain failure (:class:`ShardDrainError`) the healthy
+        shards have reset their own counters, but fleet-level the drain has
+        not happened — a ``ChunkCountPolicy`` must keep re-triggering until
+        the failed shard's windows are retried.  Without the override the
+        two snapshots would disagree until the next full drain, and a
+        controller sampling the sweep would misread the backlog as cleared.
+        The per-shard counters remain what a *standalone* fleet reports;
+        they are an implementation detail behind this wrapper.
         """
-        return merge_stats(self._backend.call_all("stats"))
+        return merge_stats(
+            self._backend.call_all("stats"),
+            chunks_since_drain=self._chunks_since_drain,
+        )
 
     def local_stats(self) -> DrainStats:
         """Queue snapshot from the fleet's own counters — no shard calls.

@@ -30,9 +30,11 @@ from repro.serving import (
     DuplicateChunkError,
     HashRing,
     IngestGateway,
+    LatencyPolicy,
     MonitorFleet,
     MonitorState,
     PendingWindow,
+    ShardDrainError,
     ShardedFleet,
     StreamingMonitor,
     decision_sort_key,
@@ -555,3 +557,201 @@ class TestHashRingReshard:
         assert fleet.n_shards == 4
         for pid in range(16):
             assert fleet.shard_of(pid) == fleet.ring.shard_of(pid)
+
+
+class TestReshardAtomicity:
+    """Satellite bugfix: a failed migration must leave the fleet untouched.
+
+    Before the fix, ``reshard`` decremented ``_pending_by_shard`` inside the
+    export loop and mutated the topology before any import — a raising
+    ``export_patient`` (e.g. a dead process worker) left counters corrupt
+    and already-exported patients destroyed.  Now every state is collected
+    before any mutation, an export failure rolls the collected states back
+    to their old shards, and pending counts are asserted non-negative.
+    """
+
+    def _loaded_fleet(self, quantized_detector, feature_matrix, n_shards=4):
+        fleet = ShardedFleet(quantized_detector, FS, n_shards=n_shards, windowing=WINDOWING)
+        for pid in range(24):
+            fleet.push(pid, np.zeros(256), seq=0)
+        fleet.enqueue(
+            [
+                _feature_window(pid, 0.0, feature_matrix.X[pid % feature_matrix.X.shape[0]])
+                for pid in range(24)
+            ]
+        )
+        return fleet
+
+    def test_export_fault_rolls_back_and_is_retryable(
+        self, quantized_detector, feature_matrix
+    ):
+        fleet = self._loaded_fleet(quantized_detector, feature_matrix)
+        before = fleet.local_stats()
+        assert before.pending_windows == 24
+        ring_before = fleet.ring
+        original_call = fleet._backend.call
+        exports = {"n": 0}
+
+        def flaky_call(shard, method, *args, **kwargs):
+            if method == "export_patient":
+                exports["n"] += 1
+                if exports["n"] > 2:  # some exports succeed first
+                    raise RuntimeError("worker died")
+            return original_call(shard, method, *args, **kwargs)
+
+        fleet._backend.call = flaky_call
+        with pytest.raises(RuntimeError, match="worker died"):
+            fleet.reshard(2)
+        assert exports["n"] > 2  # the fault actually fired mid-migration
+        fleet._backend.call = original_call
+        # Nothing moved, nothing counted: topology, ring, counters, patients.
+        assert fleet.n_shards == 4
+        assert fleet.ring is ring_before
+        assert all(count >= 0 for count in fleet._pending_by_shard.values())
+        assert fleet.local_stats().pending_windows == 24
+        assert fleet.stats().pending_windows == 24
+        for pid in range(24):
+            assert fleet.has_patient(pid)
+        # The call is retryable, and the retried fleet still drains exactly
+        # what a never-resharded fleet would.
+        fleet.reshard(2)
+        assert fleet.n_shards == 2
+        assert fleet.local_stats().pending_windows == 24
+        reference = MonitorFleet(quantized_detector, FS, windowing=WINDOWING)
+        for pid in range(24):
+            reference.push(pid, np.zeros(256), seq=0)
+        reference.enqueue(
+            [
+                _feature_window(pid, 0.0, feature_matrix.X[pid % feature_matrix.X.shape[0]])
+                for pid in range(24)
+            ]
+        )
+        _assert_drains_identical(
+            [sorted(reference.drain(), key=decision_sort_key)],
+            [sorted(fleet.drain(), key=decision_sort_key)],
+        )
+
+    def test_import_fault_names_the_orphans(self, quantized_detector, feature_matrix):
+        fleet = self._loaded_fleet(quantized_detector, feature_matrix)
+
+        def dead_import(state, pending_age_s=0.0):
+            raise RuntimeError("import worker died")
+
+        # Patch the surviving shard *fleets* (they outlive the executor
+        # rebuild a reshard performs): every 4→2 mover lands on one of them.
+        for shard_fleet in fleet._backend.shards[:2]:
+            shard_fleet.import_patient = dead_import
+        with pytest.raises(RuntimeError, match="orphaned patients") as excinfo:
+            fleet.reshard(2)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        # The exceptional half of the contract: the new topology is in
+        # place, the failure is loud, and every orphan is named.
+        assert fleet.n_shards == 2
+
+
+class TestPendingAgeSurvivesMigration:
+    """Satellite bugfix: migrated windows must not look freshly arrived.
+
+    ``MonitorFleet.import_patient`` used to seed the target shard's
+    oldest-pending clock at import time, so a reshard *extended* the latency
+    bound a :class:`LatencyPolicy` (and the autoscale controller) relies on.
+    The source shard's queue age now travels with the migration.
+    """
+
+    def _moving_patient(self):
+        ring2 = HashRing(2)
+        return next(p for p in range(100) if ring2.shard_of(p) == 1)
+
+    def test_reshard_mid_wait_does_not_extend_the_latency_bound(
+        self, quantized_detector, feature_matrix
+    ):
+        t = {"now": 1000.0}
+        fleet = ShardedFleet(
+            quantized_detector,
+            FS,
+            n_shards=1,
+            windowing=WINDOWING,
+            clock=lambda: t["now"],
+        )
+        pid = self._moving_patient()
+        fleet.enqueue([_feature_window(pid, 0.0, feature_matrix.X[0])])
+        t["now"] += 30.0
+        moved = fleet.reshard(2)
+        assert pid in moved  # the only pending window migrated to shard 1
+        # Both snapshots still report the full 30 s wait.
+        assert fleet.local_stats().oldest_pending_age_s >= 30.0
+        assert fleet.stats().oldest_pending_age_s >= 30.0
+        # A 40 s latency bound fires 40 s after arrival, not 40 s after the
+        # migration: 15 more seconds and the swept stats trigger it.
+        policy = LatencyPolicy(40.0)
+        assert not policy.should_drain(fleet.stats())
+        t["now"] += 15.0
+        assert policy.should_drain(fleet.stats())
+        assert policy.should_drain(fleet.local_stats())
+
+    def test_import_patient_backdates_the_pending_clock(
+        self, quantized_detector, feature_matrix
+    ):
+        t = {"now": 50.0}
+        source = MonitorFleet(quantized_detector, FS, clock=lambda: t["now"])
+        target = MonitorFleet(quantized_detector, FS, clock=lambda: t["now"])
+        source.enqueue([_feature_window(3, 0.0, feature_matrix.X[0])])
+        t["now"] += 12.0
+        age = source.stats().oldest_pending_age_s
+        state = source.export_patient(3)
+        target.import_patient(state, pending_age_s=age)
+        assert target.stats().oldest_pending_age_s == pytest.approx(12.0)
+        # A fleet that already holds an older window keeps its own clock.
+        other = MonitorFleet(quantized_detector, FS, clock=lambda: t["now"])
+        other.enqueue([_feature_window(4, 0.0, feature_matrix.X[1])])
+        t["now"] += 20.0
+        other.import_patient(target.export_patient(3), pending_age_s=5.0)
+        assert other.stats().oldest_pending_age_s == pytest.approx(20.0)
+
+
+class TestStatsReconcileAfterDrainError:
+    """Satellite bugfix: ``stats()`` and ``local_stats()`` agree on
+    ``chunks_since_drain`` after a partial drain failure.
+
+    Healthy shards reset their own counters when they drain; fleet-level the
+    drain has not happened until every shard succeeds.  The wrapper counter
+    is the authority and now overlays the swept sum, so a controller (or a
+    ``ChunkCountPolicy``) reads the same backlog from either snapshot.
+    """
+
+    def test_failed_then_retried_drain_keeps_the_snapshots_agreeing(
+        self, quantized_detector, feature_matrix
+    ):
+        fleet = ShardedFleet(quantized_detector, FS, n_shards=2, windowing=WINDOWING)
+        for pid in range(8):
+            fleet.push(pid, np.zeros(256), seq=0)
+        fleet.enqueue(
+            [_feature_window(pid, 0.0, feature_matrix.X[pid % 4]) for pid in range(8)]
+        )
+        assert fleet.local_stats().chunks_since_drain == 8
+        shard0 = fleet._backend.shards[0]
+        original_drain = shard0.drain
+        fails = {"n": 0}
+
+        def failing_drain():
+            if fails["n"] == 0:
+                fails["n"] += 1
+                raise RuntimeError("classifier fault")
+            return original_drain()
+
+        shard0.drain = failing_drain
+        with pytest.raises(ShardDrainError) as excinfo:
+            fleet.drain()
+        assert set(excinfo.value.errors) == {0}
+        # Shard 1 drained (and reset its own counter); fleet-level the drain
+        # failed, and both snapshots must say so identically.
+        local, swept = fleet.local_stats(), fleet.stats()
+        assert local.chunks_since_drain == swept.chunks_since_drain == 8
+        assert local.pending_windows == swept.pending_windows > 0
+        # The retry succeeds (shard 0's windows were kept) and both
+        # snapshots reset together.
+        decisions = fleet.drain()
+        assert decisions  # shard 0's kept windows classified on the retry
+        local, swept = fleet.local_stats(), fleet.stats()
+        assert local.chunks_since_drain == swept.chunks_since_drain == 0
+        assert local.pending_windows == swept.pending_windows == 0

@@ -30,6 +30,7 @@ from repro.quant import QuantizationConfig, QuantizedSVM
 from repro.serving import (
     AutoscaleConfig,
     AutoscaleController,
+    GatewayCluster,
     IngestGateway,
     ModelRegistry,
     MonitorFleet,
@@ -671,3 +672,68 @@ def test_bench_autoscale_diurnal_cycle(benchmark, experiment_data):
     assert 0 < len(action_log) <= 4 * span  # bounded: no thrash
     for action in action_log:
         assert action["moved"] <= 0.6 * AUTOSCALE_PATIENTS  # cost model held
+
+
+# ---------------------------------------------------------------------------
+# Federation: live cross-node patient migration
+# ---------------------------------------------------------------------------
+
+#: Federation workload: live patient migrations between two gateway nodes,
+#: each shipping real monitor state (DSP carry-over, partial windows,
+#: sequence tracker) over a localhost control socket as HANDOFF/STATE/ACK.
+CLUSTER_PATIENTS = 16
+CLUSTER_FRAMES_PER_PATIENT = 16
+CLUSTER_FRAME_SAMPLES = 1024
+CLUSTER_HANDOFFS = 64
+
+
+async def _run_cluster_handoffs(detector):
+    cluster = GatewayCluster(detector, FS, n_nodes=2, queue_depth=32)
+    await cluster.start()
+    for seq in range(CLUSTER_FRAMES_PER_PATIENT):
+        for pid in range(CLUSTER_PATIENTS):
+            await cluster.submit(
+                encode_chunk(pid, seq, FS, np.zeros(CLUSTER_FRAME_SAMPLES, dtype=np.float32))
+            )
+    cluster.drain()  # materialise every monitor's live state in its fleet
+    t0 = time.perf_counter()
+    for i in range(CLUSTER_HANDOFFS):
+        pid = i % CLUSTER_PATIENTS
+        dest = next(s for s in cluster.live_nodes if s != cluster.node_of(pid))
+        await cluster.handoff(pid, dest)
+    elapsed = time.perf_counter() - t0
+    await cluster.stop()
+    return elapsed, cluster.stats()
+
+
+def _measure_cluster(detector):
+    return asyncio.run(_run_cluster_handoffs(detector))
+
+
+def test_bench_cluster_handoff(benchmark, experiment_data):
+    """Cost of a live cross-node migration, quiesce to ownership flip.
+
+    Every handoff pickles the monitor's full state, ships it over a real
+    TCP control socket, waits for the destination's ACK and forwards the
+    queued backlog — this records that round trip, and checks the
+    cluster-wide ledger balanced through all of them.
+    """
+    features = experiment_data.features
+    model = train_svm(features.X, features.y)
+    detector = QuantizedSVM(model, QuantizationConfig(feature_bits=9, coeff_bits=15))
+
+    elapsed, stats = run_once(benchmark, _measure_cluster, detector)
+
+    print()
+    print(
+        "cluster handoff           : %d migrations of %d live patients, 2 nodes"
+        % (CLUSTER_HANDOFFS, CLUSTER_PATIENTS)
+    )
+    print(
+        "HANDOFF/STATE/ACK round   : %8.2f ms/handoff  (%.0f handoffs/s)"
+        % (1e3 * elapsed / CLUSTER_HANDOFFS, CLUSTER_HANDOFFS / elapsed)
+    )
+
+    assert stats.handoffs == CLUSTER_HANDOFFS and stats.handoff_failures == 0
+    assert stats.frames_routed == CLUSTER_PATIENTS * CLUSTER_FRAMES_PER_PATIENT
+    assert stats.fully_accounted

@@ -30,15 +30,22 @@ scale — and the paper's actual premise: every patient runs their own
    overwhelm two shards it reshards live — quiescing exactly the patients
    the hash ring reassigns, migrating their full monitor state and resuming
    delivery — zero frames or decisions lost, nodes never reconnect,
-6. print the per-patient alarm summaries next to the expert annotations,
+6. federate: replay four of the patients through a two-node
+   :class:`~repro.serving.cluster.GatewayCluster` — producers connect to
+   either node, a patient migrates live over the HANDOFF/STATE/ACK control
+   frames mid-stream, a node is crash-killed and its patients revive from
+   checkpoint + frame replay on the survivor — and the decisions come out
+   identical to the single-host run, with the cluster-wide ledger balanced,
+7. print the per-patient alarm summaries next to the expert annotations,
    plus the gateway's per-model drain ledger, and
-7. report the energy each *design point* bills its wearers' accelerators —
+8. report the energy each *design point* bills its wearers' accelerators —
    heterogeneous tailoring is exactly what makes this number per-patient.
 
 Run with:  python examples/wearable_monitor.py
 """
 
 import asyncio
+import math
 
 import numpy as np
 
@@ -52,10 +59,12 @@ from repro.serving import (
     AutoscaleConfig,
     AutoscaleController,
     ChunkCountPolicy,
+    GatewayCluster,
     IngestGateway,
     ModelRegistry,
     PendingWindowPolicy,
     ShardedFleet,
+    decision_sort_key,
     encode_chunk,
 )
 from repro.signals.dataset import CohortParams, generate_cohort
@@ -157,6 +166,75 @@ async def stream_through_gateway(fleet, frames, autoscaler=None):
     await asyncio.gather(*[node(pid, f) for pid, f in sorted(frames.items())])
     decisions = await gateway.stop()
     return decisions, gateway.stats()
+
+
+async def federate_subset(registry, fs, frames):
+    """Replay a patient subset through a two-node federated cluster.
+
+    The full cross-host story in one pass: producers connect to *either*
+    node's data-plane port (frames route to the owner cluster-wide), one
+    patient migrates live over the HANDOFF/STATE/ACK control sockets while
+    its producer keeps pushing, then one node is crash-killed and its
+    patients revive on the survivor from their last drain checkpoint plus
+    frame replay.  Returns the cluster's decisions and its ledger.
+    """
+    cluster = GatewayCluster(registry, fs, n_nodes=2, queue_depth=QUEUE_DEPTH)
+    addresses = await cluster.serve()
+    entries = [addresses[name] for name in sorted(addresses)]
+    total = sum(len(chunks) for chunks in frames.values())
+
+    async def push(patient_id, node_frames, entry):
+        _, writer = await asyncio.open_connection(*entry)
+        for frame in node_frames:
+            writer.write(frame)
+            await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+
+    async def settle(n):
+        while cluster.stats().frames_routed < n:
+            await asyncio.sleep(0.001)
+
+    # First half of every stream, producers spread over both entry points.
+    halves = {pid: len(chunks) // 2 for pid, chunks in frames.items()}
+    await asyncio.gather(
+        *[
+            push(pid, frames[pid][: halves[pid]], entries[i % len(entries)])
+            for i, pid in enumerate(sorted(frames))
+        ]
+    )
+    await settle(sum(halves.values()))
+    cluster.drain()  # classify + checkpoint every patient (kept by the cluster)
+
+    # Live migration mid-stream: the patient's full DSP/window state ships
+    # over the control socket, its producer keeps pushing afterwards.
+    mover = sorted(frames)[0]
+    source = cluster.node_of(mover)
+    await cluster.handoff(mover, next(s for s in cluster.live_nodes if s != source))
+
+    # Another quarter of every stream lands *after* the checkpoint...
+    marks = {pid: halves[pid] + (len(frames[pid]) - halves[pid]) // 2 for pid in frames}
+    await asyncio.gather(
+        *[
+            push(pid, frames[pid][halves[pid] : marks[pid]], entries[i % len(entries)])
+            for i, pid in enumerate(sorted(frames))
+        ]
+    )
+    await settle(sum(marks.values()))
+
+    # ...then a node crash-stops: its patients revive on the survivor from
+    # their last checkpoint, and the post-checkpoint frames replay from the
+    # per-patient frame log — no state, frame or decision lost.
+    victim = cluster.live_nodes[0]
+    await cluster.kill_node(victim)
+
+    survivor_entry = addresses["g%d" % cluster.live_nodes[0]]
+    await asyncio.gather(
+        *[push(pid, frames[pid][marks[pid] :], survivor_entry) for pid in sorted(frames)]
+    )
+    await settle(total)
+    decisions = await cluster.stop()  # includes the mid-run drain's decisions
+    return decisions, cluster.stats()
 
 
 def main() -> None:
@@ -302,6 +380,49 @@ def main() -> None:
     for label in sorted(gateway_stats.drained_by_model):
         print("    %-24s %4d" % (label, gateway_stats.drained_by_model[label]))
     assert gateway_stats.fully_accounted and gateway_stats.frames_delivered == n_frames
+
+    # --------------------------------------------- cross-host federation
+    # Four of the patients again, this time across a two-node federated
+    # cluster with live migration and a node crash mid-stream.  Federation
+    # is invisible: the decisions match the single-host run bit for bit.
+    subset = sorted(monitored)[:4]
+    subset_frames = {pid: frames[pid] for pid in subset}
+    cluster_decisions, cluster_stats = asyncio.run(federate_subset(registry, fs, subset_frames))
+    print(
+        "\nFederated replay of patients %s across 2 gateway nodes:"
+        "\n  %d frames routed, %d handoff(s) over HANDOFF/STATE/ACK,"
+        " %d node crash (%d frames replayed from checkpoint + log)"
+        % (
+            subset,
+            cluster_stats.frames_routed,
+            cluster_stats.handoffs,
+            cluster_stats.node_deaths,
+            cluster_stats.frames_replayed,
+        )
+    )
+    assert cluster_stats.fully_accounted and cluster_stats.node_deaths == 1
+    assert cluster_stats.handoffs == 1 and cluster_stats.frames_replayed > 0
+    reference = sorted((d for d in decisions if d.patient_id in set(subset)), key=decision_sort_key)
+    assert [
+        (d.patient_id, d.start_s, d.end_s, d.usable, d.alarm)
+        for d in cluster_decisions
+    ] == [(d.patient_id, d.start_s, d.end_s, d.usable, d.alarm) for d in reference]
+    for got, want in zip(cluster_decisions, reference):
+        if got.score is None:
+            assert want.score is None
+        elif isinstance(registry.backend_for(got.patient_id), QuantizedSVMBackend):
+            # Fixed-point design points are bit-exact across any batch
+            # composition — federation cannot perturb them even one ULP.
+            assert got.score == want.score
+        else:
+            # The float64 reference point is BLAS-batched: reduction order
+            # (and so the last ULP) depends on batch composition.
+            assert math.isclose(got.score, want.score, rel_tol=1e-9, abs_tol=1e-12)
+    print(
+        "  decisions identical to the single-host run (%d windows, bit-exact"
+        " fixed-point scores); cluster ledger fully accounted"
+        % len(cluster_decisions)
+    )
 
     # ------------------------------------------------- per-patient timelines
     windowing = WindowingParams()

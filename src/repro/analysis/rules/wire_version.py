@@ -28,11 +28,17 @@ __all__ = ["WireSpec", "WIRE_REGISTRY", "WireVersionRule"]
 
 @dataclass(frozen=True)
 class WireSpec:
-    """Pinned layout fingerprint of one wire-format version."""
+    """Pinned layout fingerprint of one wire-format version.
+
+    ``frame_kinds`` pins the frame-kind registry (the keys of the wire
+    module's ``FRAME_KINDS`` dict) from version 2 on; versions that predate
+    the typed frame protocol pin an empty tuple and skip the check.
+    """
 
     header_format: str
     magic: bytes
     dtype_codes: Tuple[int, ...]
+    frame_kinds: Tuple[int, ...] = ()
 
 
 #: Committed wire-format fingerprints, one entry per ``WIRE_VERSION`` ever
@@ -43,6 +49,15 @@ WIRE_REGISTRY: Dict[int, WireSpec] = {
         header_format="<4sBBHIIIdI",
         magic=b"ECGC",
         dtype_codes=(0, 1, 2, 3),
+    ),
+    # v2 (federation): the v1 u16 reserved field became a frame-kind byte
+    # plus a u8 reserved byte, and the frame-kind registry (DATA, HANDOFF,
+    # STATE, ACK) joined the fingerprint.
+    2: WireSpec(
+        header_format="<4sBBBBIIIdI",
+        magic=b"ECGC",
+        dtype_codes=(0, 1, 2, 3),
+        frame_kinds=(0, 1, 2, 3),
     ),
 }
 
@@ -108,6 +123,7 @@ class WireVersionRule(Rule):
     header_name = "HEADER"
     magic_name = "WIRE_MAGIC"
     dtypes_name = "DTYPE_CODES"
+    kinds_name = "FRAME_KINDS"
 
     def __init__(self, registry: Optional[Dict[int, WireSpec]] = None) -> None:
         self.registry = WIRE_REGISTRY if registry is None else registry
@@ -211,6 +227,32 @@ class WireVersionRule(Rule):
                         dtypes_node,
                         "dtype codes %s differ from the %s pinned for wire "
                         "version %d" % (list(codes), list(spec.dtype_codes), version),
+                        repin_hint,
+                    )
+                )
+
+        kinds_node = assignments.get(self.kinds_name)
+        if kinds_node is not None and spec.frame_kinds:
+            kinds = _int_literal_keys(kinds_node)
+            if kinds is None:
+                findings.append(
+                    self.finding(
+                        module,
+                        kinds_node,
+                        "%s must be a dict literal with integer-literal keys"
+                        % self.kinds_name,
+                        "a computed frame-kind registry defeats static layout "
+                        "pinning",
+                    )
+                )
+            elif kinds != spec.frame_kinds:
+                findings.append(
+                    self.finding(
+                        module,
+                        kinds_node,
+                        "frame kinds %s differ from the %s pinned for wire "
+                        "version %d — a new control frame is a layout change"
+                        % (list(kinds), list(spec.frame_kinds), version),
                         repin_hint,
                     )
                 )

@@ -53,11 +53,20 @@ from :mod:`repro.core` combined-flow :class:`~repro.core.design_point.DesignPoin
 outputs) with hot-swap epochs, and the drain stays batched by grouping
 pending windows per model (``tests/test_serving_registry.py``).
 
-Cross-cutting pieces: :mod:`repro.serving.wire` frames ECG chunks for
-transport (versioned binary format, CRC, per-patient sequence numbers) and
+Cross-cutting pieces: :mod:`repro.serving.wire` frames ECG chunks *and*
+federation control messages for transport (versioned binary format with a
+typed frame-kind registry, CRC, per-patient sequence numbers) and
 :mod:`repro.serving.scheduler` decides *when* fleets classify their queued
 windows (chunk-count, queue-size or latency-triggered
 :class:`~repro.serving.scheduler.DrainPolicy` objects).
+
+Above the single host, :class:`~repro.serving.cluster.GatewayCluster`
+federates many gateways behind one consistent-hash ring: patients migrate
+between nodes over the HANDOFF/STATE/ACK control frames (ACK-before-forget:
+a mid-handoff crash leaves exactly one owner), dead nodes' patients revive
+from checkpoints plus a write-ahead log, and the
+:class:`~repro.serving.cluster.ClusterStats` ledger proves every received
+frame is accounted on exactly one host (``tests/test_serving_cluster.py``).
 """
 
 from repro.serving.streaming import (
@@ -75,6 +84,7 @@ from repro.serving.autoscale import (
     Cusum,
     Ewma,
 )
+from repro.serving.cluster import ClusterStats, GatewayCluster, HandoffError
 from repro.serving.fleet import MonitorFleet, decision_sort_key
 from repro.serving.ingest import (
     BACKPRESSURE_POLICIES,
@@ -97,18 +107,32 @@ from repro.serving.registry import (
     backend_label,
     classify_grouped,
 )
-from repro.serving.sharding import HashRing, ShardDrainError, ShardedFleet
+from repro.serving.sharding import HashRing, ShardDrainError, ShardedFleet, TopologyPlan
 from repro.serving.wire import (
+    ACK_IMPORT_FAILED,
+    ACK_OK,
+    ACK_VERSION_MISMATCH,
+    FRAME_KINDS,
+    AckFrame,
     DuplicateChunkError,
     EcgChunk,
+    Frame,
+    HandoffFrame,
     OutOfOrderChunkError,
     SequenceError,
     SequenceTracker,
+    StateFrame,
     StreamDecoder,
     WireFormatError,
     decode_chunk,
+    decode_frame,
+    encode_ack,
     encode_chunk,
+    encode_frame,
+    encode_handoff,
+    encode_state,
     iter_chunks,
+    iter_frames,
 )
 
 __all__ = [
@@ -121,6 +145,10 @@ __all__ = [
     "ShardedFleet",
     "ShardDrainError",
     "HashRing",
+    "TopologyPlan",
+    "GatewayCluster",
+    "ClusterStats",
+    "HandoffError",
     "classify_windows",
     "classify_grouped",
     "decision_sort_key",
@@ -144,9 +172,23 @@ __all__ = [
     "BackpressureError",
     "BACKPRESSURE_POLICIES",
     "EcgChunk",
+    "Frame",
+    "HandoffFrame",
+    "StateFrame",
+    "AckFrame",
+    "FRAME_KINDS",
+    "ACK_OK",
+    "ACK_VERSION_MISMATCH",
+    "ACK_IMPORT_FAILED",
     "encode_chunk",
     "decode_chunk",
+    "encode_frame",
+    "decode_frame",
+    "encode_handoff",
+    "encode_state",
+    "encode_ack",
     "iter_chunks",
+    "iter_frames",
     "StreamDecoder",
     "SequenceTracker",
     "SequenceError",

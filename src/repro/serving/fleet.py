@@ -243,6 +243,46 @@ class MonitorFleet:
         return int(patient_id) in self._monitors
 
     # ------------------------------------------------------------- migration
+    def snapshot_patient(self, patient_id: int) -> MonitorState:
+        """Non-destructively capture one patient's full serving state.
+
+        The checkpoint counterpart of :meth:`export_patient`: the returned
+        :class:`~repro.serving.streaming.MonitorState` carries the same DSP
+        carry-over and the patient's currently queued
+        :class:`~repro.serving.streaming.PendingWindow` entries, but the
+        fleet keeps serving the patient — nothing is detached.  A federated
+        cluster checkpoints every patient this way so that a dead gateway's
+        patients can revive at their new owner from the last snapshot
+        (:mod:`repro.serving.cluster`).
+
+        A patient known only through :meth:`enqueue` snapshots a
+        pending-only state.  Raises :class:`KeyError` when the fleet knows
+        nothing of the patient at all.
+        """
+        patient_id = int(patient_id)
+        monitor = self._monitors.get(patient_id)
+        queued = tuple(
+            window for window in self._pending if int(window.patient_id) == patient_id
+        )
+        if monitor is None and not queued:
+            raise KeyError(
+                "patient %d has no monitor and no pending windows here" % patient_id
+            )
+        if monitor is not None:
+            state = monitor.snapshot()
+        else:
+            state = MonitorState(
+                version=MONITOR_STATE_VERSION,
+                patient_id=patient_id,
+                fs=self.fs,
+                detector=None,
+                windower=None,
+                sequence=None,
+                n_windows=0,
+                n_usable=0,
+            )
+        return replace(state, pending=queued)
+
     def export_patient(self, patient_id: int) -> MonitorState:
         """Atomically detach one patient: monitor state plus queued windows.
 

@@ -134,6 +134,10 @@ class GatewayStats:
     uptime_s: float
     #: Live reshards completed through :meth:`IngestGateway.reshard`.
     reshards: int = 0
+    #: Queued frames handed to another gateway during a cluster handoff
+    #: (:meth:`IngestGateway.take_queued`) — they left this gateway's queues
+    #: without being delivered here, and are accounted on the destination.
+    frames_forwarded: int = 0
     #: Reshards initiated by the gateway's own autoscale controller (a
     #: subset of :attr:`reshards`).
     autoscale_actions: int = 0
@@ -150,13 +154,15 @@ class GatewayStats:
 
     @property
     def fully_accounted(self) -> bool:
-        """Every received frame is delivered, queued, shed, rejected or errored."""
+        """Every received frame is delivered, queued, shed, rejected,
+        errored — or forwarded to another gateway of the cluster."""
         return self.frames_received == (
             self.frames_delivered
             + self.queued_frames
             + self.frames_shed
             + self.frames_rejected
             + self.frames_errored
+            + self.frames_forwarded
         )
 
 
@@ -281,6 +287,7 @@ class IngestGateway:
         #: migrates between shards (see :meth:`reshard`).  Their frames keep
         #: arriving and queue under the normal backpressure policies.
         self._quiesced: set = set()
+        self._frames_forwarded = 0
         self._reshards = 0
         if autoscaler is not None and (
             not hasattr(fleet, "preview_reshard") or not hasattr(fleet, "reshard")
@@ -528,10 +535,23 @@ class IngestGateway:
                 pass
 
     # ------------------------------------------------------------- resharding
-    async def reshard(self, n_shards: int) -> Dict[int, tuple]:
-        """Live-reshard the fleet underneath the gateway, zero frames lost.
+    def plan_topology(self, n_shards: Optional[int] = None, weights=None):
+        """Plan a fleet topology change (see :meth:`ShardedFleet.plan_topology
+        <repro.serving.sharding.ShardedFleet.plan_topology>`) without
+        touching the gateway or the fleet.  The plan's ``movers`` are the
+        quiesce set :meth:`apply_topology` will freeze."""
+        plan = getattr(self.fleet, "plan_topology", None)
+        if plan is None or not hasattr(self.fleet, "apply_topology"):
+            raise TypeError(
+                "fleet %r does not support live resharding" % type(self.fleet).__name__
+            )
+        return plan(n_shards, weights=weights)
 
-        Exactly the patients the new ring reassigns are *quiesced*: the pump
+    async def apply_topology(self, plan) -> Dict[int, tuple]:
+        """Execute a :class:`~repro.serving.sharding.TopologyPlan` live,
+        zero frames lost.
+
+        Exactly the patients the plan reassigns are *quiesced*: the pump
         skips their queues (their arrival-order markers stay put, so
         per-patient FIFO delivery resumes exactly where it paused) while
         their frames keep arriving and buffer under the normal backpressure
@@ -539,35 +559,144 @@ class IngestGateway:
         lossy policies shed/reject with the usual accounting.  Every other
         patient streams on undisturbed.  Once in-flight pump work has
         settled, the fleet migrates the frozen patients' monitor state
-        (:meth:`ShardedFleet.reshard
-        <repro.serving.sharding.ShardedFleet.reshard>`), delivery resumes,
-        and the :class:`GatewayStats` ledger invariant holds at every
-        suspension point throughout (quiesced frames are simply ``queued``).
+        (:meth:`ShardedFleet.apply_topology
+        <repro.serving.sharding.ShardedFleet.apply_topology>`), delivery
+        resumes, and the :class:`GatewayStats` ledger invariant holds at
+        every suspension point throughout (quiesced frames are simply
+        ``queued``).
 
         Returns the migrated ``{patient_id: (old_shard, new_shard)}``
         mapping.  Must not race :meth:`stop`: a shutdown flush that runs
         inside the quiesce window would leave the frozen patients' frames
         queued (never lost — a later :meth:`stop` delivers them).
         """
-        preview = getattr(self.fleet, "preview_reshard", None)
-        if preview is None or not hasattr(self.fleet, "reshard"):
+        if not hasattr(self.fleet, "apply_topology"):
             raise TypeError(
                 "fleet %r does not support live resharding" % type(self.fleet).__name__
             )
-        moving = set(preview(n_shards))
+        moving = set(plan.movers)
         self._quiesced |= moving
         try:
             # One loop pass: whatever delivery step the pump is mid-way
             # through completes before any monitor detaches; from here on it
             # can only deliver non-quiesced patients' frames.
             await asyncio.sleep(0)
-            moved = self.fleet.reshard(n_shards)
+            moved = self.fleet.apply_topology(plan)
         finally:
             self._quiesced -= moving
             if self._order:
                 self._data.set()  # wake the pump for the thawed queues
         self._reshards += 1
         return moved
+
+    async def reshard(self, n_shards: int) -> Dict[int, tuple]:
+        """Live-reshard the fleet underneath the gateway, zero frames lost.
+
+        A thin wrapper: ``apply_topology(plan_topology(n_shards))`` — see
+        :meth:`apply_topology` for the quiesce protocol and guarantees.
+        """
+        return await self.apply_topology(self.plan_topology(n_shards))
+
+    # ------------------------------------------------------------- federation
+    def quiesce_patients(self, patient_ids) -> None:
+        """Pause delivery for ``patient_ids`` (their frames keep queueing).
+
+        The cluster handoff protocol freezes a migrating patient here before
+        exporting their monitor state; matched by :meth:`resume_patients`.
+        """
+        self._quiesced |= {int(pid) for pid in patient_ids}
+
+    def resume_patients(self, patient_ids) -> None:
+        """Thaw patients frozen by :meth:`quiesce_patients`."""
+        self._quiesced -= {int(pid) for pid in patient_ids}
+        if self._order:
+            self._data.set()  # wake the pump for the thawed queues
+
+    def queued_frames_of(self, patient_id: int) -> List[EcgChunk]:
+        """Peek (copy) a patient's queued, undelivered frames, oldest first."""
+        queue = self._queues.get(int(patient_id))
+        return list(queue.items) if queue is not None else []
+
+    def take_queued(self, patient_id: int) -> List[EcgChunk]:
+        """Remove and return a patient's queued frames, oldest first.
+
+        The forwarding half of a cluster handoff: the frames leave this
+        gateway's ledger as ``frames_forwarded`` (keeping
+        :attr:`GatewayStats.fully_accounted` true) and must be re-submitted
+        to the destination gateway, which counts them as received there.
+        Synchronous — no suspension point splits the ledger update.
+        """
+        patient_id = int(patient_id)
+        queue = self._queues.get(patient_id)
+        if queue is None or not queue.items:
+            return []
+        taken = list(queue.items)
+        queue.items.clear()
+        self._queued -= len(taken)
+        self._frames_forwarded += len(taken)
+        queue.space.set()
+        return taken
+
+    def flush_queues(self) -> None:
+        """Synchronously deliver every deliverable queued frame to the fleet.
+
+        Quiesced patients' frames stay put.  Runs the drain-policy poll after
+        each delivery, exactly like the pump, so policy semantics hold.
+        """
+        while self._deliver_one():
+            self._poll_drain()
+
+    def drain_now(self, finish: bool = False) -> List[WindowDecision]:
+        """Deliver queued frames, then force one fleet drain, synchronously.
+
+        With ``finish=True`` the monitors' partial windows are flushed first
+        (end of stream).  Returns the decisions drained by this call; they
+        are also appended to :attr:`decisions`.  The cluster uses this for
+        race-free mid-schedule drains — no pump interleaving, no await.
+        """
+        self.flush_queues()
+        if finish:
+            self.fleet.finish()
+        drained = self.fleet.drain()
+        if drained:
+            self._drains += 1
+        self._emit(drained)
+        return drained
+
+    async def abort(self) -> None:
+        """Crash-stop: cancel the pump and sever connections, flush nothing.
+
+        Queued frames and fleet windows are left exactly where they are —
+        this is the test seam for killing a cluster node mid-flight, and the
+        cleanup path after :meth:`drain_now` has already harvested a node.
+        Unlike :meth:`stop`, the fleet is never finished or drained, and the
+        gateway's installed drain policy is still restored.
+        """
+        self._closing = True
+        self._closing_connections = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Wake producers parked on block-policy backpressure: with the pump
+        # about to die nothing else ever would (closing a transport does not
+        # interrupt an Event wait).
+        for queue in self._queues.values():
+            queue.space.set()
+        for writer in list(self._conn_writers):
+            writer.close()
+        while self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        pump, self._pump_task = self._pump_task, None
+        if pump is not None:
+            pump.cancel()
+            try:
+                await pump
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._policy_installed:
+            self.fleet.drain_policy = self._previous_policy
+            self._policy_installed = False
 
     # ------------------------------------------------------------------ pump
     def _deliver_one(self) -> bool:
@@ -706,6 +835,7 @@ class IngestGateway:
             drains=self._drains,
             uptime_s=uptime,
             reshards=self._reshards,
+            frames_forwarded=self._frames_forwarded,
             autoscale_actions=self._autoscale_actions,
             drained_by_model=dict(self._drained_by_model),
         )

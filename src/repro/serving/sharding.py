@@ -40,8 +40,9 @@ import hashlib
 import multiprocessing as mp
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,7 +54,7 @@ from repro.serving.streaming import PendingWindow, WindowDecision
 from repro.serving.wire import decode_chunk_checked
 from repro.signals.windows import WindowingParams
 
-__all__ = ["HashRing", "ShardedFleet", "ShardDrainError"]
+__all__ = ["HashRing", "ShardedFleet", "ShardDrainError", "TopologyPlan"]
 
 
 class ShardDrainError(RuntimeError):
@@ -74,6 +75,45 @@ class ShardDrainError(RuntimeError):
         )
         self.errors = dict(errors)
         self.decisions = list(decisions)
+
+
+@dataclass(frozen=True)
+class TopologyPlan:
+    """One planned topology change: the target ring plus its migration set.
+
+    The single plan/apply currency of every topology-changing surface —
+    :meth:`ShardedFleet.plan_topology` / :meth:`ShardedFleet.apply_topology`,
+    the gateway's quiescing wrappers
+    (:meth:`~repro.serving.ingest.IngestGateway.plan_topology`), and the
+    federated cluster's node rebalancing
+    (:meth:`~repro.serving.cluster.GatewayCluster.plan_topology`).  A plan
+    is pure data: inspect :attr:`movers` for the migration cost, then hand
+    the plan to ``apply_topology`` — or drop it, which touches nothing.
+
+    ``movers`` maps each patient the target ring reassigns to their
+    ``(old_shard, new_shard)`` pair, computed against the membership at
+    planning time; ``apply_topology`` recomputes the exact set against the
+    membership at apply time (patients may have appeared in between), so the
+    plan's set is the *preview* and the apply's return value is the truth.
+    """
+
+    #: Target shard / node count.
+    n_shards: int
+    #: Target per-shard ring weights.
+    weights: Tuple[float, ...]
+    #: Preview migration set: ``{patient_id: (old, new)}`` at planning time.
+    movers: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: The target :class:`HashRing` itself.
+    ring: Optional["HashRing"] = None
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether applying this plan would change nothing."""
+        return self.ring is None
+
+    @property
+    def n_movers(self) -> int:
+        return len(self.movers)
 
 
 class HashRing:
@@ -120,6 +160,10 @@ class HashRing:
             if any(w <= 0.0 for w in resolved):
                 raise ValueError("shard weights must be positive")
         self.weights = resolved
+        #: Shard indices tombstoned by :meth:`without_shards` (empty on a
+        #: freshly built ring).  Excluded shards keep their index — survivors
+        #: never renumber — but own no ring points, so nothing routes to them.
+        self.excluded: frozenset = frozenset()
         point_list: List[int] = []
         owner_list: List[int] = []
         for shard in range(self.n_shards):
@@ -196,6 +240,51 @@ class HashRing:
         ring = HashRing(
             n_shards, replicas=self.replicas, weights=self.resized_weights(n_shards, weights)
         )
+        moved = {}
+        for patient_id in patient_ids:
+            patient_id = int(patient_id)
+            old, new = self.shard_of(patient_id), ring.shard_of(patient_id)
+            if old != new:
+                moved[patient_id] = (old, new)
+        return ring, moved
+
+    def without_shards(
+        self, shards: Iterable[int], patient_ids: Iterable[int] = ()
+    ) -> tuple:
+        """The ring with ``shards`` tombstoned, plus the patients that move.
+
+        Returns ``(ring, moved)`` like :meth:`with_n_shards`.  Unlike a
+        resize, excluding a shard does not renumber the survivors: the dead
+        shard keeps its index but loses its ring points, so exactly the
+        patients it owned are reassigned (to the survivors owning the next
+        points clockwise) and *no* surviving shard's patients move.  This is
+        the failover primitive of the federated cluster: a dead gateway's
+        slot is tombstoned, its patients re-home, and every live gateway
+        keeps its slice untouched (:mod:`repro.serving.cluster`).
+
+        Exclusions accumulate: calling this on an already-tombstoned ring
+        adds to :attr:`excluded`.  Excluding every shard is an error.
+        """
+        dead = {int(s) for s in shards}
+        for shard in dead:
+            if not 0 <= shard < self.n_shards:
+                raise ValueError(
+                    "shard %d is not a shard of this %d-shard ring"
+                    % (shard, self.n_shards)
+                )
+        if not dead - self.excluded:
+            return self, {}
+        excluded = frozenset(self.excluded | dead)
+        if len(excluded) >= self.n_shards:
+            raise ValueError("cannot exclude every shard of the ring")
+        ring = object.__new__(HashRing)
+        ring.n_shards = self.n_shards
+        ring.replicas = self.replicas
+        ring.weights = self.weights
+        ring.excluded = excluded
+        mask = ~np.isin(self._owners, np.asarray(sorted(excluded), dtype=np.int64))
+        ring._points = self._points[mask]
+        ring._owners = self._owners[mask]
         moved = {}
         for patient_id in patient_ids:
             patient_id = int(patient_id)
@@ -640,33 +729,54 @@ class ShardedFleet:
             self._oldest_pending_t = None
 
     # ------------------------------------------------------------ resharding
-    def preview_reshard(
-        self, n_shards: int, weights: Optional[Sequence[float]] = None
-    ) -> Dict[int, tuple]:
-        """The migration :meth:`reshard` to ``n_shards`` would perform.
+    def plan_topology(
+        self,
+        n_shards: Optional[int] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> TopologyPlan:
+        """Plan a topology change without touching anything.
 
-        Maps each patient that would move to their ``(old_shard, new_shard)``
-        pair, without touching anything — the quiesce set an
+        Returns a :class:`TopologyPlan` for resizing to ``n_shards``
+        (default: the current count — with ``weights``, a pure rebalance)
+        carrying the target ring and the preview migration set.  The plan is
+        inert data: the quiesce set an
         :class:`~repro.serving.ingest.IngestGateway` freezes before starting
         the real migration, and the cost model an autoscale controller
-        weighs against expected latency relief before committing.
+        weighs against expected latency relief before committing.  Execute
+        it with :meth:`apply_topology`; dropping it costs nothing.
         """
-        n_shards = int(n_shards)
+        n_shards = self.n_shards if n_shards is None else int(n_shards)
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
         if n_shards == self.n_shards and (
             weights is None or tuple(float(w) for w in weights) == self.ring.weights
         ):
-            return {}
-        _, moved = self.ring.with_n_shards(
+            return TopologyPlan(
+                n_shards=self.n_shards, weights=self.ring.weights, movers={}, ring=None
+            )
+        ring, moved = self.ring.with_n_shards(
             n_shards, sorted(self._known_patients), weights=weights
         )
-        return moved
+        return TopologyPlan(
+            n_shards=n_shards, weights=ring.weights, movers=moved, ring=ring
+        )
+
+    def preview_reshard(
+        self, n_shards: int, weights: Optional[Sequence[float]] = None
+    ) -> Dict[int, tuple]:
+        """The migration :meth:`reshard` to ``n_shards`` would perform.
+
+        A thin wrapper over :meth:`plan_topology`: returns the plan's
+        preview ``{patient_id: (old_shard, new_shard)}`` set.
+        """
+        return dict(self.plan_topology(n_shards, weights=weights).movers)
 
     def reshard(
         self, n_shards: int, weights: Optional[Sequence[float]] = None
     ) -> Dict[int, tuple]:
         """Change the shard count live, with zero-loss state migration.
+
+        A thin wrapper: ``apply_topology(plan_topology(n_shards, weights))``.
 
         Only the minimally reassigned patients move (the
         :meth:`HashRing.with_n_shards` set): each is atomically detached from
@@ -702,16 +812,29 @@ class ShardedFleet:
         threads — quiesce the callers first (the ingest gateway does exactly
         that for the moving patients).
         """
-        n_shards = int(n_shards)
-        if n_shards <= 0:
-            raise ValueError("n_shards must be positive")
-        if n_shards == self.n_shards and (
-            weights is None or tuple(float(w) for w in weights) == self.ring.weights
-        ):
+        return self.apply_topology(self.plan_topology(n_shards, weights=weights))
+
+    def apply_topology(self, plan: TopologyPlan) -> Dict[int, tuple]:
+        """Execute a :class:`TopologyPlan` from :meth:`plan_topology`.
+
+        The movers are recomputed here against the plan's target ring over
+        the *current* patient population, so traffic that arrived between
+        planning and applying is migrated too (the plan's ``movers`` are a
+        preview — the quiesce set, not the contract).  A no-op plan returns
+        ``{}`` without touching anything.  All the atomicity and parity
+        guarantees documented on :meth:`reshard` apply.
+        """
+        if plan.is_noop:
             return {}
-        new_ring, moved = self.ring.with_n_shards(
-            n_shards, sorted(self._known_patients), weights=weights
-        )
+        new_ring = plan.ring
+        assert new_ring is not None  # is_noop is False
+        n_shards = plan.n_shards
+        moved: Dict[int, tuple] = {}
+        for patient_id in sorted(self._known_patients):
+            old_shard = self.ring.shard_of(patient_id)
+            new_shard = new_ring.shard_of(patient_id)
+            if old_shard != new_shard:
+                moved[patient_id] = (old_shard, new_shard)
         # 1. Detach every moving patient while all old shards are still up,
         #    touching *no* fleet state until every export has succeeded — a
         #    dead worker mid-migration must leave the fleet exactly as found.

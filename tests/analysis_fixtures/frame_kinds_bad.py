@@ -1,0 +1,43 @@
+"""Known-bad corpus for ``wire-version``: a control frame added silently.
+
+``HEADER`` / ``WIRE_MAGIC`` / ``DTYPE_CODES`` all match the version-2
+fingerprint pinned in ``repro.analysis.rules.wire_version.WIRE_REGISTRY`` —
+but ``FRAME_KINDS`` grew a kind 4 without a version bump.  A new control
+frame is a layout change: an old build would reject (or worse, misread)
+frames a new build emits *within the same version byte*.
+"""
+
+import struct
+
+
+class EcgChunk:
+    pass
+
+
+class HandoffFrame:
+    pass
+
+
+class StateFrame:
+    pass
+
+
+class AckFrame:
+    pass
+
+
+class PingFrame:
+    pass
+
+
+WIRE_VERSION = 2
+WIRE_MAGIC = b"ECGC"
+HEADER = struct.Struct("<4sBBBBIIIdI")
+DTYPE_CODES = {0: "f8", 1: "f4", 2: "i2", 3: "i4"}
+FRAME_KINDS = {  # expect[wire-version]
+    0: EcgChunk,
+    1: HandoffFrame,
+    2: StateFrame,
+    3: AckFrame,
+    4: PingFrame,
+}

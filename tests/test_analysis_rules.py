@@ -32,6 +32,7 @@ BAD_FIXTURES = (
     "snapshot_incomplete_bad.py",
     "snapshot_registry_drift_bad.py",
     "wire_version_bad.py",
+    "frame_kinds_bad.py",
     "determinism_bad.py",
     "repro/serving/async_safety_bad.py",
 )

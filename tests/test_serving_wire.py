@@ -16,16 +16,29 @@ from hypothesis import given, settings, strategies as st
 
 from repro.serving import MonitorFleet, StreamingMonitor
 from repro.serving.wire import (
+    ACK_OK,
     DTYPE_CODES,
+    FRAME_KINDS,
     HEADER,
     WIRE_VERSION,
+    AckFrame,
     DuplicateChunkError,
+    EcgChunk,
+    HandoffFrame,
     OutOfOrderChunkError,
     SequenceTracker,
+    StateFrame,
+    StreamDecoder,
     WireFormatError,
     decode_chunk,
+    decode_frame,
+    encode_ack,
     encode_chunk,
+    encode_frame,
+    encode_handoff,
+    encode_state,
     iter_chunks,
+    iter_frames,
 )
 
 FS = 128.0
@@ -164,8 +177,15 @@ def test_decode_rejects_unknown_dtype_code():
 
 
 def test_decode_rejects_reserved_bits():
+    # v2 header: the reserved byte sits at offset 7 (offset 6 is the frame
+    # kind).  Any non-zero value is from the future and must be refused.
     with pytest.raises(WireFormatError, match="reserved"):
-        decode_chunk(_patched(_frame(), 6, b"\x01\x00"))
+        decode_chunk(_patched(_frame(), 7, b"\x01"))
+
+
+def test_decode_rejects_unknown_frame_kind():
+    with pytest.raises(WireFormatError, match="frame kind"):
+        decode_chunk(_patched(_frame(), 6, bytes([17])))
 
 
 def test_decode_rejects_invalid_fs():
@@ -379,3 +399,170 @@ class TestFleetWireIngestion:
         fleet = MonitorFleet(_NoCallClassifier(), FS)
         with pytest.raises(WireFormatError, match="does not match"):
             fleet.push_wire(encode_chunk(1, 0, 2 * FS, np.zeros(8)))
+
+
+# ---------------------------------------------------------------------------
+# Typed frame protocol (v2): control frames and mixed streams
+# ---------------------------------------------------------------------------
+
+_control_frames = st.one_of(
+    st.builds(
+        HandoffFrame,
+        patient_id=st.integers(0, 2**32 - 1),
+        token=st.integers(0, 2**32 - 1),
+        state_version=st.integers(0, 2**32 - 1),
+        fs=st.just(FS),
+    ),
+    st.builds(
+        StateFrame,
+        patient_id=st.integers(0, 2**32 - 1),
+        token=st.integers(0, 2**32 - 1),
+        fs=st.just(FS),
+        payload=st.binary(max_size=200),
+    ),
+    st.builds(
+        AckFrame,
+        patient_id=st.integers(0, 2**32 - 1),
+        token=st.integers(0, 2**32 - 1),
+        status=st.integers(0, 2),
+        fs=st.just(FS),
+    ),
+)
+
+
+def _data_frames():
+    return st.builds(
+        lambda pid, seq, n: EcgChunk(
+            patient_id=pid, seq=seq, fs=FS, samples=np.arange(n, dtype=np.float64)
+        ),
+        st.integers(0, 100),
+        st.integers(0, 100),
+        st.integers(0, 32),
+    )
+
+
+class TestControlFrames:
+    def test_handoff_round_trip(self):
+        frame = decode_frame(encode_handoff(9, 77, 1, FS))
+        assert frame == HandoffFrame(patient_id=9, token=77, state_version=1, fs=FS)
+
+    def test_state_round_trip(self):
+        payload = b"\x80\x04N."  # pickled None — any bytes are legal
+        frame = decode_frame(encode_state(9, 77, FS, payload))
+        assert frame == StateFrame(patient_id=9, token=77, fs=FS, payload=payload)
+
+    def test_ack_round_trip(self):
+        frame = decode_frame(encode_ack(9, 77, ACK_OK, FS))
+        assert frame == AckFrame(patient_id=9, token=77, status=ACK_OK, fs=FS)
+
+    @given(frame=_control_frames)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_frame_dispatch_round_trips(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encode_frame_rejects_non_frames(self):
+        with pytest.raises(TypeError):
+            encode_frame(b"not a frame")
+
+    def test_frame_kind_registry_is_complete(self):
+        assert FRAME_KINDS == {0: EcgChunk, 1: HandoffFrame, 2: StateFrame, 3: AckFrame}
+
+    def test_decode_chunk_refuses_control_frames(self):
+        with pytest.raises(WireFormatError, match="not a data frame"):
+            decode_chunk(encode_handoff(1, 2, 1, FS))
+
+    def test_iter_chunks_refuses_mixed_streams(self):
+        mixed = encode_chunk(1, 0, FS, np.zeros(4)) + encode_ack(1, 0, ACK_OK, FS)
+        with pytest.raises(WireFormatError, match="not a data frame"):
+            list(iter_chunks(mixed))
+
+    def test_iter_frames_handles_mixed_streams(self):
+        mixed = (
+            encode_handoff(1, 5, 1, FS)
+            + encode_state(1, 5, FS, b"abc")
+            + encode_chunk(2, 0, FS, np.zeros(4))
+            + encode_ack(1, 5, ACK_OK, FS)
+        )
+        kinds = [type(f).__name__ for f in iter_frames(mixed)]
+        assert kinds == ["HandoffFrame", "StateFrame", "EcgChunk", "AckFrame"]
+
+    def test_control_frame_with_nonzero_dtype_code_is_rejected(self):
+        frame = encode_ack(1, 2, ACK_OK, FS)
+        with pytest.raises(WireFormatError, match="must be 0"):
+            decode_frame(_patched(frame, 5, bytes([1])))
+
+    def test_state_payload_corruption_caught_by_crc(self):
+        frame = bytearray(encode_state(1, 2, FS, b"state-bytes"))
+        frame[HEADER.size + 3] ^= 0xFF
+        with pytest.raises(WireFormatError, match="CRC"):
+            decode_frame(bytes(frame))
+
+    def test_truncated_state_payload_is_rejected(self):
+        frame = encode_state(1, 2, FS, b"x" * 64)
+        with pytest.raises(WireFormatError, match="truncated payload"):
+            decode_frame(frame[:-7])
+
+
+class TestStreamDecoderMixedFrames:
+    @given(
+        frames=st.lists(st.one_of(_control_frames, _data_frames()), max_size=8),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reassembly_invariant_under_read_chunking(self, frames, data):
+        stream = b"".join(encode_frame(f) for f in frames)
+        decoder = StreamDecoder()
+        decoded = []
+        pos = 0
+        while pos < len(stream):
+            step = data.draw(st.integers(1, max(1, len(stream) - pos)))
+            decoded.extend(decoder.feed(stream[pos : pos + step]))
+            pos += step
+        decoder.finish()
+        assert len(decoded) == len(frames)
+        for got, want in zip(decoded, frames):
+            if isinstance(want, EcgChunk):
+                assert isinstance(got, EcgChunk)
+                assert got.patient_id == want.patient_id and got.seq == want.seq
+                assert np.array_equal(got.samples, want.samples)
+            else:
+                assert got == want
+
+    def test_truncated_state_frame_fails_finish(self):
+        decoder = StreamDecoder()
+        frame = encode_state(1, 2, FS, b"y" * 128)
+        assert decoder.feed(frame[:-1]) == []
+        with pytest.raises(WireFormatError, match="mid-frame"):
+            decoder.finish()
+
+    def test_oversized_state_declaration_is_rejected_at_the_header(self):
+        # A state payload above max_frame_bytes is corruption-by-bound: the
+        # decoder must reject on the header alone, never buffer gigabytes.
+        decoder = StreamDecoder(max_frame_bytes=1024)
+        frame = encode_state(1, 2, FS, b"z" * 2048)
+        with pytest.raises(WireFormatError, match="frame bound"):
+            decoder.feed(frame[: HEADER.size])
+        with pytest.raises(WireFormatError, match="drop the connection"):
+            decoder.feed(frame[HEADER.size :])
+
+    def test_control_frames_between_data_frames_one_byte_at_a_time(self):
+        stream = (
+            encode_chunk(1, 0, FS, np.arange(8.0))
+            + encode_handoff(1, 3, 1, FS)
+            + encode_state(1, 3, FS, b"pickled")
+            + encode_ack(1, 3, ACK_OK, FS)
+            + encode_chunk(1, 1, FS, np.arange(4.0))
+        )
+        decoder = StreamDecoder()
+        decoded = []
+        for i in range(len(stream)):
+            decoded.extend(decoder.feed(stream[i : i + 1]))
+        decoder.finish()
+        assert [type(f).__name__ for f in decoded] == [
+            "EcgChunk",
+            "HandoffFrame",
+            "StateFrame",
+            "AckFrame",
+            "EcgChunk",
+        ]
+        assert decoder.frames_decoded == 5 and decoder.at_frame_boundary

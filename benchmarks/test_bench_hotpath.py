@@ -1,0 +1,278 @@
+"""Benchmarks: the raw-speed hot path vs the naive per-window recompute.
+
+Two comparisons, both on the paper's 9/15-bit fixed-point detector trained on
+the real experiment features:
+
+* **Quantized kernel** — the fused batch pipeline (preallocated per-thread
+  workspaces, one ``einsum``/``matmul`` pass with the MAC1 stage in SIMD
+  int32 where the exact overflow bound allows, zero intermediate
+  allocations) against the one-window-at-a-time reference path that every
+  drain cycle used before the fused kernel existed.  The acceptance bar of
+  this optimisation round is **10x** the naive quantized windows/second,
+  bit-identical scores and labels; the committed record pins the measured
+  ~19x.
+
+* **End to end** — the streaming chain (ring-buffer windower, overlap-aware
+  feature cache, one batched classification per drain) against the naive
+  chain (same windows, uncached per-window feature extraction, per-window
+  reference classification) over an identical synthetic beat workload.
+  Feature extraction dominates this path, so the asserted floor is modest;
+  the absolute windows/second of both chains are recorded.
+
+``BENCH_hotpath.json`` next to this file is the committed per-commit record.
+The kernel bench refuses to pass when the measured speedup falls more than
+20% below the committed record, so a regression that erodes the fused path
+fails CI even while still above the absolute 10x bar.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.features.extractor import FeatureExtractor
+from repro.profile import _synth_beat_chunks
+from repro.quant import QuantizationConfig, QuantizedSVM
+from repro.serving import PendingWindow, classify_windows
+from repro.signals.windows import StreamingWindower, WindowingParams
+from repro.svm.model import train_svm
+
+from benchmarks.conftest import run_once
+
+#: Kernel workload: one deep drain cycle — 128 patients x 32 pending
+#: overlapping windows (``step = window/4``) awaiting classification.
+KERNEL_PATIENTS = 128
+KERNEL_WINDOWS = 4096
+
+#: End-to-end workload: a small fleet streamed beat-by-beat through the
+#: windower -> features -> classifier chain on the overlapping grid.
+E2E_PATIENTS = 8
+E2E_DURATION_S = 480.0
+E2E_WINDOW_S = 60.0
+E2E_STEP_S = 15.0
+
+#: Committed per-commit speedup record (see module docstring).
+HOTPATH_RECORD = Path(__file__).with_name("BENCH_hotpath.json")
+
+#: Tolerated slack against the committed record: fail on >20% regression.
+RECORD_SLACK = 0.8
+
+
+def _reference_detector(model, config):
+    """The same quantization with the fused batch kernel switched off.
+
+    Its public methods then run the pre-optimisation reference path —
+    per-call quantization and the row-by-row int64 accumulation — which is
+    exactly what a drain cycle cost before this optimisation round.
+    """
+    det = QuantizedSVM(model, config)
+    det._use_fused = False
+    return det
+
+
+def _measure_kernel(det_fused, det_naive, X, repeats=15):
+    """Best-of-N interleaved timing: per-window reference vs fused batch.
+
+    Interleaving reps means transient machine load hits both paths equally;
+    best-of-N filters scheduler hiccups (the fused rep is short, so plenty of
+    reps are needed for its minimum to find a quiet scheduling slot).  The
+    allocator is warmed first so glibc's dynamic mmap threshold settles
+    before either path is timed, and both paths run once untimed so one-time
+    costs (workspace allocation, import-time caches) stay out of the
+    comparison.  The per-window slicing happens inside the timed region,
+    exactly as the original naive serving loop sliced.
+    """
+    for _ in range(50):
+        _warm = np.empty(1 << 21)
+    del _warm
+
+    n = X.shape[0]
+    det_fused.scores_and_labels(X)
+    det_naive.scores_and_labels(X[:1])
+    best_naive = best_fused = float("inf")
+    fused_scores = fused_labels = None
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            per_window = [det_naive.scores_and_labels(X[i : i + 1]) for i in range(n)]
+            best_naive = min(best_naive, time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            fused_scores, fused_labels = det_fused.scores_and_labels(X)
+            best_fused = min(best_fused, time.perf_counter() - t0)
+    finally:
+        gc.enable()
+
+    naive_scores = np.concatenate([s for s, _ in per_window])
+    naive_labels = np.concatenate([l for _, l in per_window])
+    return naive_scores, naive_labels, fused_scores, fused_labels, best_naive, best_fused
+
+
+def test_bench_hotpath_quantized_kernel(benchmark, experiment_data):
+    features = experiment_data.features
+    model = train_svm(features.X, features.y)
+    config = QuantizationConfig(feature_bits=9, coeff_bits=15)
+    det_fused = QuantizedSVM(model, config)
+    det_naive = _reference_detector(model, config)
+    assert det_fused._use_fused
+
+    reps = -(-KERNEL_WINDOWS // features.X.shape[0])
+    X = np.tile(features.X, (reps, 1))[:KERNEL_WINDOWS]
+
+    naive_scores, naive_labels, fused_scores, fused_labels, t_naive, t_fused = run_once(
+        benchmark, _measure_kernel, det_fused, det_naive, X
+    )
+
+    n = X.shape[0]
+    speedup = t_naive / t_fused
+    print()
+    print(
+        "pending windows per drain : %d  (%d patients, %d support vectors, 9/15 bits)"
+        % (n, KERNEL_PATIENTS, model.n_support_vectors)
+    )
+    print("naive per-window reference: %8.0f windows/s" % (n / t_naive))
+    print(
+        "fused batch kernel        : %8.0f windows/s  (%.1fx)"
+        % (n / t_fused, speedup)
+    )
+    benchmark.extra_info["windows"] = n
+    benchmark.extra_info["naive_windows_per_s"] = n / t_naive
+    benchmark.extra_info["fused_windows_per_s"] = n / t_fused
+    benchmark.extra_info["speedup"] = speedup
+
+    # Bit-exactness: the fused kernel must agree with the reference path to
+    # the last bit, scores and labels both.
+    assert np.array_equal(naive_scores, fused_scores)
+    assert np.array_equal(naive_labels, fused_labels)
+
+    # The acceptance bar of this optimisation round.
+    assert speedup >= 10.0
+
+    # Regression gate against the committed record.
+    if HOTPATH_RECORD.exists():
+        record = json.loads(HOTPATH_RECORD.read_text())
+        floor = RECORD_SLACK * record["quantized_kernel"]["speedup"]
+        assert speedup >= floor, (
+            "fused-kernel speedup %.1fx regressed more than 20%% below the "
+            "committed record (%.1fx); update benchmarks/BENCH_hotpath.json "
+            "only with a justified trade-off" % (speedup, floor / RECORD_SLACK)
+        )
+
+
+def _stream_fast(streams, detector, windowing):
+    """The optimised chain: ring windower + feature cache + batched drain."""
+    windowers = [StreamingWindower(windowing) for _ in streams]
+    extractors = [FeatureExtractor(feature_cache=True) for _ in streams]
+    decisions = []
+    for chunk_index in range(len(streams[0])):
+        pending = []
+        for p, stream in enumerate(streams):
+            times, amps = stream[chunk_index]
+            for window in windowers[p].push(times, amps):
+                try:
+                    feats = extractors[p].extract_beat_window(window)
+                except ValueError:
+                    feats = None
+                pending.append(
+                    PendingWindow(p, window.start_s, window.end_s, window.n_beats, feats)
+                )
+        if pending:
+            decisions.extend(classify_windows(detector, pending))
+    return decisions
+
+
+def _stream_naive(streams, detector, windowing):
+    """The naive chain: same windows, uncached features, per-window classify."""
+    windowers = [StreamingWindower(windowing) for _ in streams]
+    decisions = []
+    for chunk_index in range(len(streams[0])):
+        for p, stream in enumerate(streams):
+            times, amps = stream[chunk_index]
+            for window in windowers[p].push(times, amps):
+                extractor = FeatureExtractor(feature_cache=False)
+                try:
+                    feats = extractor.extract_beat_window(window)
+                except ValueError:
+                    feats = None
+                pending = [
+                    PendingWindow(p, window.start_s, window.end_s, window.n_beats, feats)
+                ]
+                decisions.extend(classify_windows(detector, pending))
+    return decisions
+
+
+def _measure_e2e(streams, det_fused, det_naive, windowing, repeats=6):
+    for _ in range(50):
+        _warm = np.empty(1 << 21)
+    del _warm
+
+    # One untimed pass of each chain so allocator/workspace warm-up and any
+    # state left behind by earlier benches in the same process stays out of
+    # the comparison.
+    _stream_naive(streams, det_naive, windowing)
+    _stream_fast(streams, det_fused, windowing)
+
+    best_naive = best_fast = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            naive = _stream_naive(streams, det_naive, windowing)
+            best_naive = min(best_naive, time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            fast = _stream_fast(streams, det_fused, windowing)
+            best_fast = min(best_fast, time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    return naive, fast, best_naive, best_fast
+
+
+def test_bench_hotpath_end_to_end(benchmark, experiment_data):
+    features = experiment_data.features
+    model = train_svm(features.X, features.y)
+    config = QuantizationConfig(feature_bits=9, coeff_bits=15)
+    det_fused = QuantizedSVM(model, config)
+    det_naive = _reference_detector(model, config)
+
+    windowing = WindowingParams(window_s=E2E_WINDOW_S, step_s=E2E_STEP_S, min_beats=16)
+    streams = [
+        _synth_beat_chunks(np.random.default_rng(100 + p), E2E_DURATION_S, chunk_s=8.0)
+        for p in range(E2E_PATIENTS)
+    ]
+
+    naive, fast, t_naive, t_fast = run_once(
+        benchmark, _measure_e2e, streams, det_fused, det_naive, windowing
+    )
+
+    n = len(fast)
+    speedup = t_naive / t_fast
+    print()
+    print("windows streamed          : %d  (%d patients)" % (n, E2E_PATIENTS))
+    print("naive uncached chain      : %8.0f windows/s" % (n / t_naive))
+    print(
+        "ring+cache+batched chain  : %8.0f windows/s  (%.2fx)"
+        % (n / t_fast, speedup)
+    )
+    benchmark.extra_info["windows"] = n
+    benchmark.extra_info["naive_windows_per_s"] = n / t_naive
+    benchmark.extra_info["fast_windows_per_s"] = n / t_fast
+    benchmark.extra_info["speedup"] = speedup
+
+    # Decision-for-decision bit-exactness across the whole chain.
+    assert len(naive) == len(fast)
+    for a, b in zip(naive, fast):
+        assert a == b
+
+    # Feature extraction dominates end to end, so the asserted floor is
+    # modest — it only guards against the optimised chain regressing to
+    # slower-than-naive.  Measured solo the chain wins ~1.15x (recorded in
+    # BENCH_hotpath.json); inside the full suite the ratio jitters a few
+    # percent with allocator/cache state left by earlier benches, hence the
+    # slack.  The kernel bench above carries the 10x bar.
+    assert speedup >= 1.02

@@ -50,9 +50,13 @@ class SnapshotSpec:
 #: are nested inside ``MonitorState`` pickles, so they are guarded by
 #: ``MONITOR_STATE_VERSION`` too.
 DEFAULT_SNAPSHOT_REGISTRY: Dict[str, SnapshotSpec] = {
+    # Version 2: the ring-buffer StreamingWindower added
+    # ``WindowerState.base_beat_index`` (the absolute beat index anchoring
+    # the overlap-aware feature cache).  The nested states share the guard
+    # constant, so all three entries are re-pinned at the bumped version.
     "MonitorState": SnapshotSpec(
         version_const="MONITOR_STATE_VERSION",
-        version=1,
+        version=2,
         fields=(
             "version",
             "patient_id",
@@ -67,7 +71,7 @@ DEFAULT_SNAPSHOT_REGISTRY: Dict[str, SnapshotSpec] = {
     ),
     "PeakDetectorState": SnapshotSpec(
         version_const="MONITOR_STATE_VERSION",
-        version=1,
+        version=2,
         fields=(
             "fs",
             "params",
@@ -81,13 +85,14 @@ DEFAULT_SNAPSHOT_REGISTRY: Dict[str, SnapshotSpec] = {
     ),
     "WindowerState": SnapshotSpec(
         version_const="MONITOR_STATE_VERSION",
-        version=1,
+        version=2,
         fields=(
             "params",
             "beat_times_s",
             "r_amplitudes_mv",
             "window_start_s",
             "clock_s",
+            "base_beat_index",
         ),
     ),
 }

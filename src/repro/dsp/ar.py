@@ -52,27 +52,44 @@ def ar_burg(x: np.ndarray, order: int) -> Tuple[np.ndarray, float]:
         raise ValueError("need more samples than the AR order")
 
     # Forward and backward prediction errors; both shrink by one sample per
-    # model order as in the classic Burg recursion.
+    # model order as in the classic Burg recursion.  The recursion runs on a
+    # fixed set of scratch buffers (ping-pong pairs for f/b, one temporary
+    # for the scaled cross term) so each iteration performs zero allocations;
+    # every arithmetic step matches the allocating formulation operation for
+    # operation, so the coefficients are bit-identical.
     f = x.copy()
     b = x.copy()
+    f_spare = np.empty(max(n - 1, 1))
+    b_spare = np.empty(max(n - 1, 1))
+    scratch = np.empty(max(n - 1, 1))
     energy = np.dot(x, x) / n
 
-    coeffs = np.zeros(0)
+    coeffs = np.zeros(order)
+    prev = np.empty(order)
+    k = 0
+    length = n
     for _ in range(order):
-        ef = f[1:]
-        eb = b[:-1]
+        m = length - 1
+        ef = f[1:length]
+        eb = b[: length - 1]
         den = np.dot(ef, ef) + np.dot(eb, eb)
         reflection = 0.0 if den <= 1e-30 else -2.0 * np.dot(eb, ef) / den
-        # Update the error-filter coefficients (Levinson-style recursion).
-        k = coeffs.size
-        new_coeffs = np.zeros(k + 1)
-        new_coeffs[k] = reflection
+        # Update the error-filter coefficients (Levinson-style recursion):
+        # new[:k] = coeffs[:k] + reflection * coeffs[:k][::-1].
         if k > 0:
-            new_coeffs[:k] = coeffs + reflection * coeffs[::-1]
-        coeffs = new_coeffs
-        # Update the prediction errors.
-        f = ef + reflection * eb
-        b = eb + reflection * ef
+            prev[:k] = coeffs[:k]
+            np.multiply(prev[k - 1 :: -1], reflection, out=coeffs[:k])
+            np.add(coeffs[:k], prev[:k], out=coeffs[:k])
+        coeffs[k] = reflection
+        k += 1
+        # Update the prediction errors: f' = ef + r*eb, b' = eb + r*ef.
+        np.multiply(eb, reflection, out=scratch[:m])
+        np.add(ef, scratch[:m], out=f_spare[:m])
+        np.multiply(ef, reflection, out=scratch[:m])
+        np.add(eb, scratch[:m], out=b_spare[:m])
+        f, f_spare = f_spare, f
+        b, b_spare = b_spare, b
+        length = m
         energy *= 1.0 - reflection**2
 
     # Convert from the "error filter" convention (1 + c1 z^-1 + ...) to the

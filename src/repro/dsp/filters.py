@@ -1,10 +1,27 @@
-"""Basic filtering primitives used across the feature-extraction chain."""
+"""Basic filtering primitives used across the feature-extraction chain.
+
+The per-window hot path calls :func:`moving_average` and :func:`detrend` on
+every analysis window, so both memoise the parts of their computation that
+depend only on the input *length* (the averaging kernel, the edge-count
+normaliser, the centred time grid) — pure functions of ``(n, width)`` /
+``n``, cached bounded, and bit-identical to recomputing them.
+"""
 
 from __future__ import annotations
+
+from typing import Dict, Tuple
 
 import numpy as np
 
 __all__ = ["moving_average", "difference", "detrend", "bandpass_fir", "apply_fir"]
+
+#: (signal length, width) -> (kernel, clipped edge-count normaliser).
+_MA_CACHE: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+#: signal length -> (centred time grid t, dot(t, t)).
+_DETREND_CACHE: Dict[int, Tuple[np.ndarray, float]] = {}
+#: Memoisation bound; cleared wholesale when exceeded (window lengths vary
+#: with the beat count, so the key space is finite but not fixed).
+_CACHE_LIMIT = 512
 
 
 def moving_average(x: np.ndarray, width: int) -> np.ndarray:
@@ -20,11 +37,21 @@ def moving_average(x: np.ndarray, width: int) -> np.ndarray:
     x = np.asarray(x, dtype=float)
     if width < 2 or x.size == 0:
         return x.copy()
-    kernel = np.ones(width) / width
+    key = (x.size, int(width))
+    cached = _MA_CACHE.get(key)
+    if cached is None:
+        if len(_MA_CACHE) >= _CACHE_LIMIT:
+            _MA_CACHE.clear()
+        kernel = np.ones(width) / width
+        counts = np.maximum(np.convolve(np.ones(x.size), kernel, mode="same"), 1e-12)
+        kernel.setflags(write=False)
+        counts.setflags(write=False)
+        cached = (kernel, counts)
+        _MA_CACHE[key] = cached
+    kernel, counts = cached
     # 'same' convolution then fix the edges where the kernel was truncated.
     smoothed = np.convolve(x, kernel, mode="same")
-    counts = np.convolve(np.ones_like(x), kernel, mode="same")
-    return smoothed / np.maximum(counts, 1e-12)
+    return smoothed / counts
 
 
 def difference(x: np.ndarray) -> np.ndarray:
@@ -45,10 +72,19 @@ def detrend(x: np.ndarray) -> np.ndarray:
     n = x.size
     if n < 3:
         return x - (np.mean(x) if n else 0.0)
-    t = np.arange(n, dtype=float)
-    t -= t.mean()
-    slope = np.dot(t, x - x.mean()) / np.dot(t, t)
-    return x - x.mean() - slope * t
+    cached = _DETREND_CACHE.get(n)
+    if cached is None:
+        if len(_DETREND_CACHE) >= _CACHE_LIMIT:
+            _DETREND_CACHE.clear()
+        t = np.arange(n, dtype=float)
+        t -= t.mean()
+        t.setflags(write=False)
+        cached = (t, float(np.dot(t, t)))
+        _DETREND_CACHE[n] = cached
+    t, t_dot_t = cached
+    centred = x - x.mean()
+    slope = np.dot(t, centred) / t_dot_t
+    return centred - slope * t
 
 
 def bandpass_fir(

@@ -6,11 +6,24 @@ classical LF/HF band powers of the RR tachogram.  This module implements the
 Welch method (segment averaging of windowed periodograms) without relying on
 ``scipy.signal`` so that the numerical behaviour is fully under the
 repository's control.
+
+The implementation is hot-path tuned without changing a single output bit
+(pinned by the golden trace and the hot-path equivalence suite):
+
+* Hann windows and ``rfftfreq`` grids are memoised per segment length — they
+  are pure functions of ``(segment_length, fs)``.
+* All Welch segments are windowed and FFT'd as one batched 2-D ``rfft``
+  (row-wise FFTs are bitwise identical to per-segment 1-D FFTs); the
+  periodogram average still accumulates row by row in the original
+  sequential order, because changing a float summation order changes bits.
+* :func:`band_powers` integrates every band from one shared trapezoid-panel
+  vector instead of re-slicing the PSD per band; each band's panel sum uses
+  the same ``np.add.reduce`` pairwise order the trapezoid rule uses.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +31,38 @@ __all__ = ["welch_psd", "band_power", "band_powers"]
 
 #: ``np.trapz`` was renamed to ``np.trapezoid`` in NumPy 2.0; support both.
 _trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+#: Memoised Hann windows: segment length -> (window, sum(window**2)).
+_HANN_CACHE: Dict[int, Tuple[np.ndarray, float]] = {}
+#: Memoised one-sided frequency grids: (segment length, fs) -> read-only grid.
+_RFFTFREQ_CACHE: Dict[Tuple[int, float], np.ndarray] = {}
+#: Memoisation bound; cleared wholesale when exceeded (lengths vary with the
+#: per-window beat count, so the key space is finite but not fixed).
+_CACHE_LIMIT = 512
+
+
+def _hann(segment_length: int) -> Tuple[np.ndarray, float]:
+    cached = _HANN_CACHE.get(segment_length)
+    if cached is None:
+        if len(_HANN_CACHE) >= _CACHE_LIMIT:
+            _HANN_CACHE.clear()
+        window = np.hanning(segment_length)
+        window.setflags(write=False)
+        cached = (window, float(np.sum(window**2)))
+        _HANN_CACHE[segment_length] = cached
+    return cached
+
+
+def _rfftfreq(segment_length: int, fs: float) -> np.ndarray:
+    key = (segment_length, fs)
+    cached = _RFFTFREQ_CACHE.get(key)
+    if cached is None:
+        if len(_RFFTFREQ_CACHE) >= _CACHE_LIMIT:
+            _RFFTFREQ_CACHE.clear()
+        cached = np.fft.rfftfreq(segment_length, d=1.0 / fs)
+        cached.setflags(write=False)
+        _RFFTFREQ_CACHE[key] = cached
+    return cached
 
 
 def welch_psd(
@@ -47,7 +92,8 @@ def welch_psd(
     Returns
     -------
     (freqs, psd):
-        One-sided frequency grid and PSD (power per Hz).
+        One-sided frequency grid and PSD (power per Hz).  The frequency grid
+        is a shared read-only array; copy it before mutating.
     """
     x = np.asarray(x, dtype=float)
     if x.size < 8:
@@ -57,29 +103,33 @@ def welch_psd(
     segment_length = int(min(segment_length, x.size))
     step = max(1, int(segment_length * (1.0 - overlap)))
 
-    window = np.hanning(segment_length)
-    window_power = np.sum(window**2)
+    window, window_power = _hann(segment_length)
 
-    psd_acc = None
-    count = 0
-    for start in range(0, x.size - segment_length + 1, step):
-        segment = x[start : start + segment_length]
-        if detrend_segments:
-            segment = segment - segment.mean()
-        spectrum = np.fft.rfft(segment * window)
-        periodogram = (np.abs(spectrum) ** 2) / (fs * window_power)
-        # One-sided correction (all bins except DC and Nyquist count twice).
-        if segment_length % 2 == 0:
-            periodogram[1:-1] *= 2.0
-        else:
-            periodogram[1:] *= 2.0
-        psd_acc = periodogram if psd_acc is None else psd_acc + periodogram
-        count += 1
-
-    if psd_acc is None or count == 0:
+    # One strided view per segment start, exactly the starts of the original
+    # ``range(0, x.size - segment_length + 1, step)`` loop.
+    segments = np.lib.stride_tricks.sliding_window_view(x, segment_length)[::step]
+    count = segments.shape[0]
+    if count == 0:
         raise ValueError("could not form any Welch segment")
-    freqs = np.fft.rfftfreq(segment_length, d=1.0 / fs)
-    return freqs, psd_acc / count
+    if detrend_segments:
+        data = segments - segments.mean(axis=1, keepdims=True)
+        np.multiply(data, window, out=data)
+    else:
+        data = segments * window
+    spectra = np.fft.rfft(data, axis=1)
+    periodograms = (np.abs(spectra) ** 2) / (fs * window_power)
+    # One-sided correction (all bins except DC and Nyquist count twice).
+    if segment_length % 2 == 0:
+        periodograms[:, 1:-1] *= 2.0
+    else:
+        periodograms[:, 1:] *= 2.0
+    # Sequential accumulation in segment order: a tree/pairwise reduction
+    # over the segment axis would round differently for many segments.
+    psd_acc = periodograms[0]
+    for row in periodograms[1:]:
+        psd_acc = psd_acc + row
+
+    return _rfftfreq(segment_length, fs), psd_acc / count
 
 
 def band_power(freqs: np.ndarray, psd: np.ndarray, low_hz: float, high_hz: float) -> float:
@@ -95,5 +145,31 @@ def band_power(freqs: np.ndarray, psd: np.ndarray, low_hz: float, high_hz: float
 def band_powers(
     freqs: np.ndarray, psd: np.ndarray, edges: Sequence[Tuple[float, float]]
 ) -> np.ndarray:
-    """Integrated power for a sequence of ``(low_hz, high_hz)`` bands."""
-    return np.array([band_power(freqs, psd, lo, hi) for lo, hi in edges])
+    """Integrated power for a sequence of ``(low_hz, high_hz)`` bands.
+
+    For a sorted frequency grid (the only kind a PSD estimate produces) every
+    band selects a contiguous slice, so all bands share one precomputed
+    trapezoid-panel vector ``diff(freqs) * (psd[1:] + psd[:-1]) / 2.0`` and
+    each integral is a single slice reduction — bit-identical to calling
+    :func:`band_power` per band, at a fraction of the work for the paper's
+    29-band grid.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    psd = np.asarray(psd, dtype=float)
+    if freqs.size < 2:
+        return np.array([band_power(freqs, psd, lo, hi) for lo, hi in edges])
+    widths = np.diff(freqs)
+    if np.any(widths < 0):  # unsorted grid: fall back to the reference path
+        return np.array([band_power(freqs, psd, lo, hi) for lo, hi in edges])
+    # The same elementwise expression np.trapezoid evaluates internally.
+    panel = widths * (psd[1:] + psd[:-1]) / 2.0
+    edge_arr = np.asarray(edges, dtype=float).reshape(-1, 2)
+    first = np.searchsorted(freqs, edge_arr[:, 0], side="left")
+    last = np.searchsorted(freqs, edge_arr[:, 1], side="right")
+    out = np.empty(edge_arr.shape[0])
+    for j in range(edge_arr.shape[0]):
+        i0, i1 = int(first[j]), int(last[j])
+        # Fewer than two grid points in the band integrates to zero, exactly
+        # as the trapezoid rule over a <2-point selection does.
+        out[j] = np.add.reduce(panel[i0 : i1 - 1]) if i1 - i0 >= 2 else 0.0
+    return out

@@ -21,13 +21,14 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.features.ar_features import ar_features
+from repro.features.cache import BeatPartialCache, BeatPartials
 from repro.features.catalog import FEATURE_NAMES, N_FEATURES
 from repro.features.edr import EDR_FS, edr_series_from_amplitudes
 from repro.features.hrv import hrv_features
 from repro.features.lorenz import lorenz_features
 from repro.features.psd_features import psd_features
 from repro.signals.dataset import Recording, SyntheticCohort
-from repro.signals.windows import Window, WindowingParams, extract_windows
+from repro.signals.windows import BeatWindow, Window, WindowingParams, extract_windows
 
 __all__ = [
     "FeatureExtractionParams",
@@ -122,10 +123,28 @@ class FeatureMatrix:
 
 
 class FeatureExtractor:
-    """Computes the 53-feature vector of individual analysis windows."""
+    """Computes the 53-feature vector of individual analysis windows.
 
-    def __init__(self, params: Optional[FeatureExtractionParams] = None) -> None:
+    ``feature_cache=True`` (the default) attaches an overlap-aware
+    :class:`~repro.features.cache.BeatPartialCache`: windows arriving through
+    :meth:`extract_beat_window` with a known
+    :attr:`~repro.signals.windows.BeatWindow.first_beat_index` reuse the
+    elementwise per-beat partials they share with the previous window instead
+    of recomputing them.  The cached path is bit-identical to the full
+    recompute (the flag exists so parity can be asserted, not because the
+    results differ).
+    """
+
+    def __init__(
+        self,
+        params: Optional[FeatureExtractionParams] = None,
+        feature_cache: bool = True,
+    ) -> None:
         self.params = params or FeatureExtractionParams()
+        self.feature_cache = bool(feature_cache)
+        self._cache: Optional[BeatPartialCache] = (
+            BeatPartialCache() if self.feature_cache else None
+        )
 
     def extract_window(self, recording: Recording, window: Window) -> np.ndarray:
         """Feature vector of one window; raises ``ValueError`` if unusable."""
@@ -135,8 +154,27 @@ class FeatureExtractor:
             window.r_amplitudes_of(recording),
         )
 
+    def extract_beat_window(self, window: BeatWindow) -> np.ndarray:
+        """Feature vector of a streaming window, through the overlap cache.
+
+        Windows with unknown provenance (``first_beat_index < 0``) skip the
+        cache and take the full-recompute path.
+        """
+        partials = None
+        if self._cache is not None and window.first_beat_index >= 0:
+            partials = self._cache.partials_for(
+                window.first_beat_index, np.asarray(window.rr_s, dtype=float)
+            )
+        return self.extract_beats(
+            window.beat_times_s, window.rr_s, window.r_amplitudes_mv, partials=partials
+        )
+
     def extract_beats(
-        self, beats: np.ndarray, rr: np.ndarray, amplitudes: np.ndarray
+        self,
+        beats: np.ndarray,
+        rr: np.ndarray,
+        amplitudes: np.ndarray,
+        partials: Optional[BeatPartials] = None,
     ) -> np.ndarray:
         """Feature vector from raw per-window beat arrays.
 
@@ -152,8 +190,8 @@ class FeatureExtractor:
         if rr.size < 8 or beats.size < 8:
             raise ValueError("window contains too few beats")
 
-        hrv = hrv_features(rr, beats)
-        lorenz = lorenz_features(rr)
+        hrv = hrv_features(rr, beats, partials=partials)
+        lorenz = lorenz_features(rr, partials=partials)
         _, edr = edr_series_from_amplitudes(beats, amplitudes, fs=self.params.edr_fs)
         ar = ar_features(edr)
         psd = psd_features(edr, fs=self.params.edr_fs)
@@ -174,38 +212,35 @@ class FeatureExtractor:
 
         Unusable windows are skipped; the second return value lists the
         indices (into ``items``) of the rows that were kept, so callers can
-        map batched predictions back onto their pending windows.
+        map batched predictions back onto their pending windows.  Rows are
+        written straight into one preallocated matrix (no per-row stacking).
         """
-        rows: List[np.ndarray] = []
+        X = np.empty((len(items), N_FEATURES))
         kept: List[int] = []
         for idx, (beats, rr, amplitudes) in enumerate(items):
             try:
-                rows.append(self.extract_beats(beats, rr, amplitudes))
+                X[len(kept)] = self.extract_beats(beats, rr, amplitudes)
             except ValueError:
                 continue
             kept.append(idx)
-        if not rows:
-            return np.empty((0, N_FEATURES)), []
-        return np.vstack(rows), kept
+        return X[: len(kept)], kept
 
     def extract_recording(
         self, recording: Recording
     ) -> Tuple[np.ndarray, np.ndarray, List[Window]]:
         """Feature matrix, labels and retained windows of one recording."""
         windows = extract_windows(recording, self.params.windowing)
-        rows: List[np.ndarray] = []
+        X = np.empty((len(windows), N_FEATURES))
         labels: List[int] = []
         kept: List[Window] = []
         for window in windows:
             try:
-                rows.append(self.extract_window(recording, window))
+                X[len(kept)] = self.extract_window(recording, window)
             except ValueError:
                 continue
             labels.append(window.label)
             kept.append(window)
-        if not rows:
-            return np.empty((0, N_FEATURES)), np.empty(0, dtype=int), []
-        return np.vstack(rows), np.asarray(labels, dtype=int), kept
+        return X[: len(kept)], np.asarray(labels, dtype=int), kept
 
 
 def extract_cohort_features(

@@ -9,12 +9,15 @@ raises the LF/HF ratio — the discriminative signal exploited by the SVM.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.dsp.psd import band_power, welch_psd
 from repro.dsp.resample import resample_beats_to_uniform
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.features.cache import BeatPartials
 
 __all__ = ["HRV_FEATURE_NAMES", "hrv_features"]
 
@@ -37,7 +40,11 @@ HF_BAND = (0.15, 0.40)
 _TACHOGRAM_FS = 4.0
 
 
-def hrv_features(rr_s: np.ndarray, beat_times_s: np.ndarray) -> np.ndarray:
+def hrv_features(
+    rr_s: np.ndarray,
+    beat_times_s: np.ndarray,
+    partials: "Optional[BeatPartials]" = None,
+) -> np.ndarray:
     """Compute the eight HRV features of one window.
 
     Parameters
@@ -48,6 +55,11 @@ def hrv_features(rr_s: np.ndarray, beat_times_s: np.ndarray) -> np.ndarray:
         Beat times inside the window (one more element than ``rr_s`` in the
         usual case; only the first ``len(rr_s)+1`` entries are used for the
         tachogram resampling).
+    partials:
+        Precomputed elementwise partials of this exact RR vector (from the
+        overlap-aware :class:`~repro.features.cache.BeatPartialCache`).  The
+        aggregations below are identical either way, so supplying partials
+        cannot change a bit of the result.
 
     Returns
     -------
@@ -57,12 +69,20 @@ def hrv_features(rr_s: np.ndarray, beat_times_s: np.ndarray) -> np.ndarray:
     if rr.size < 4:
         raise ValueError("need at least four RR intervals for HRV features")
 
+    if partials is None:
+        successive = np.diff(rr)
+        successive_sq = successive**2
+        nn50 = np.abs(successive) > 0.050
+        hr = 60.0 / rr
+    else:
+        successive_sq = partials.succ_sq
+        nn50 = partials.nn50
+        hr = partials.hr
+
     mean_rr = float(np.mean(rr))
     sdnn = float(np.std(rr, ddof=1))
-    successive = np.diff(rr)
-    rmssd = float(np.sqrt(np.mean(successive**2))) if successive.size else 0.0
-    pnn50 = float(np.mean(np.abs(successive) > 0.050)) if successive.size else 0.0
-    hr = 60.0 / rr
+    rmssd = float(np.sqrt(np.mean(successive_sq))) if successive_sq.size else 0.0
+    pnn50 = float(np.mean(nn50)) if nn50.size else 0.0
     mean_hr = float(np.mean(hr))
     max_hr = float(np.max(hr))
     cv_rr = sdnn / mean_rr if mean_rr > 0 else 0.0

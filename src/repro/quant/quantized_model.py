@@ -26,14 +26,20 @@ falls back to exact Python integers, so arbitrarily wide reference datapaths
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.markers import int_only
 from repro.hardware.accelerator import AcceleratorConfig
-from repro.quant.fixed_point import quantize_columns, quantize_to_int, scale_for_exponent
+from repro.quant.fixed_point import (
+    int_bounds,
+    quantize_columns,
+    quantize_to_int,
+    scale_for_exponent,
+)
 from repro.quant.ranges import (
     coefficient_range_exponent,
     feature_range_exponents,
@@ -77,6 +83,37 @@ class QuantizationConfig:
             raise ValueError("feature_bits and coeff_bits must be at least 2")
         if self.truncate_after_dot < 0 or self.truncate_after_square < 0:
             raise ValueError("truncation amounts cannot be negative")
+
+
+class _BatchWorkspace:
+    """Preallocated per-thread buffers for the fused batch pipeline.
+
+    One workspace holds every intermediate of a whole window batch (the
+    standardised floats, the quantised words, the MAC1/squarer accumulator
+    panel and the MAC2 output vector), so a steady-state serving drain runs
+    the entire quantised pipeline without allocating.  When the detector's
+    MAC1 stage provably fits 32-bit words (``narrow=True``) the workspace
+    additionally carries int32 twins of the quantised words and the MAC1
+    accumulator, because numpy's int32 matrix products vectorise where the
+    int64 ones cannot.
+    """
+
+    __slots__ = ("capacity", "scaled", "q", "acc1", "acc2", "q32", "acc1_32")
+
+    def __init__(
+        self, capacity: int, n_features: int, n_support_vectors: int, narrow: bool
+    ) -> None:
+        self.capacity = capacity
+        self.scaled = np.empty((capacity, n_features), dtype=np.float64)
+        self.q = np.empty((capacity, n_features), dtype=np.int64)
+        self.acc1 = np.empty((capacity, n_support_vectors), dtype=np.int64)
+        self.acc2 = np.empty(capacity, dtype=np.int64)
+        self.q32: Optional[np.ndarray] = (
+            np.empty((capacity, n_features), dtype=np.int32) if narrow else None
+        )
+        self.acc1_32: Optional[np.ndarray] = (
+            np.empty((capacity, n_support_vectors), dtype=np.int32) if narrow else None
+        )
 
 
 class QuantizedSVM:
@@ -140,6 +177,46 @@ class QuantizedSVM:
 
         self._use_fast_path = self._fits_int64()
 
+        # Fused batch pipeline (fast path only): the shifted support-vector
+        # matrix is precomputed and transposed once so MAC1 over a whole
+        # batch is a single contiguous einsum, and per-thread workspaces let
+        # repeated serving drains run with zero heap allocations.  Gated on
+        # ``feature_bits <= 62`` because wider feature words quantise through
+        # exact Python integers, which the int64 workspaces cannot hold.
+        self._tls: threading.local = threading.local()
+        self._sv_shifted_t: Optional[np.ndarray] = None
+        self._sv_shifted_t32: Optional[np.ndarray] = None
+        self._coeff_i64: Optional[np.ndarray] = None
+        self._use_fused = self._use_fast_path and config.feature_bits <= 62
+        self._use_narrow_mac1 = False
+        if self._use_fused:
+            sv_shifted = self.sv_int.astype(np.int64) << self.product_shifts.astype(
+                np.int64
+            )[None, :]
+            self._sv_shifted_t = np.ascontiguousarray(sv_shifted.T)
+            self._coeff_i64 = self.coeff_int.astype(np.int64)
+            # Narrow MAC1: when every MAC1 intermediate provably fits a
+            # 32-bit word, the dominant matrix product runs in int32, which
+            # numpy SIMD-vectorises (int64 products go through a scalar
+            # loop).  Gated on the same exact worst-case bound style as
+            # :meth:`_fits_int64`, so the int32 arithmetic can never wrap
+            # and stays bit-identical to the int64 reference.
+            self._use_narrow_mac1 = self._fits_int32_mac1()
+            if self._use_narrow_mac1:
+                self._sv_shifted_t32 = self._sv_shifted_t.astype(np.int32)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # ``threading.local`` does not pickle; the process-pool fleet backend
+        # ships QuantizedSVM instances to workers, which rebuild their own
+        # (empty) per-thread workspace registry on arrival.
+        state = self.__dict__.copy()
+        state.pop("_tls", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._tls = threading.local()
+
     # ------------------------------------------------------------------ API
     def _quantize_features(self, values: np.ndarray) -> np.ndarray:
         """Quantise a feature matrix with the per-column feature scales."""
@@ -162,6 +239,8 @@ class QuantizedSVM:
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Approximate real-valued decision score implied by the integer pipeline."""
+        if self._use_fused:
+            return self._accumulate_fused(X).astype(float) * self.output_scale
         acc = self._accumulate(self.quantize_input(X))
         if isinstance(acc, np.ndarray):
             return acc.astype(float) * self.output_scale
@@ -175,6 +254,9 @@ class QuantizedSVM:
         stays vectorised across the batch, which is what the
         :class:`~repro.serving.fleet.MonitorFleet` batched drain relies on.
         """
+        if self._use_fused:
+            acc = self._accumulate_fused(X)
+            return np.where(acc >= 0, 1, -1).astype(int)
         acc = self._accumulate(self.quantize_input(X))
         if isinstance(acc, np.ndarray):
             return np.where(acc >= 0, 1, -1).astype(int)
@@ -187,6 +269,11 @@ class QuantizedSVM:
         :meth:`predict`); the batched serving drain uses this to avoid
         running the pipeline twice per window batch.
         """
+        if self._use_fused:
+            acc_fused = self._accumulate_fused(X)
+            scores = acc_fused.astype(float) * self.output_scale
+            labels = np.where(acc_fused >= 0, 1, -1).astype(int)
+            return scores, labels
         acc = self._accumulate(self.quantize_input(X))
         if isinstance(acc, np.ndarray):
             scores = acc.astype(float) * self.output_scale
@@ -239,12 +326,7 @@ class QuantizedSVM:
         so conservative that it pushed the paper's own 9/15-bit design point
         onto the slow exact-arithmetic path.
         """
-        q_max = 1 << (self.config.feature_bits - 1)
-        shifts = [1 << int(s) for s in self.product_shifts]
-        acc1_max = 0
-        for row in np.asarray(self.sv_int):
-            total = sum(q_max * abs(int(v)) * s for v, s in zip(row, shifts))
-            acc1_max = max(acc1_max, total)
+        acc1_max = self._worst_case_acc1()
         # ``>>`` on a negative value floors towards -inf, so the magnitude
         # after truncation can exceed the shifted magnitude bound by one.
         dot_max = (acc1_max >> self.config.truncate_after_dot) + 1
@@ -258,11 +340,173 @@ class QuantizedSVM:
         limit = 1 << 62
         return max(acc1_max, squared_max, acc2_max) < limit
 
+    @int_only
+    def _worst_case_acc1(self) -> int:
+        """Exact worst-case magnitude of the MAC1 accumulator.
+
+        Computed against the most adverse quantised input (every feature
+        saturated, signs aligned with the support-vector words), so it also
+        bounds every partial sum the accumulation can ever pass through.
+        """
+        q_max = 1 << (self.config.feature_bits - 1)
+        shifts = [1 << int(s) for s in self.product_shifts]
+        acc1_max = 0
+        for row in np.asarray(self.sv_int):
+            total = sum(q_max * abs(int(v)) * s for v, s in zip(row, shifts))
+            acc1_max = max(acc1_max, total)
+        return acc1_max
+
+    @int_only
+    def _fits_int32_mac1(self) -> bool:
+        """Exact overflow check for running the MAC1 stage in int32.
+
+        True only when the quantised feature words, the shifted
+        support-vector words, the worst-case MAC1 accumulation (hence every
+        partial sum of it) and the truncated-plus-offset dot all provably fit
+        a signed 32-bit word.  Under that bound int32 arithmetic is exact, so
+        the narrow stage is bit-identical to the int64 reference by
+        construction; the squarer and MAC2 still run in int64 (guarded by
+        :meth:`_fits_int64`).
+        """
+        limit = 1 << 31
+        if (1 << (self.config.feature_bits - 1)) > limit - 1:
+            return False
+        sv_shifted_max = 0
+        shifts = [1 << int(s) for s in self.product_shifts]
+        for row in np.asarray(self.sv_int):
+            for v, s in zip(row, shifts):
+                sv_shifted_max = max(sv_shifted_max, abs(int(v)) * s)
+        acc1_max = self._worst_case_acc1()
+        dot_max = (acc1_max >> self.config.truncate_after_dot) + 1
+        sum_max = dot_max + abs(self.kernel_offset_int)
+        return max(sv_shifted_max, acc1_max, sum_max) < limit
+
     def _accumulate(self, q_test: np.ndarray) -> "np.ndarray | list":
         """Run the integer pipeline for every (already quantised) test row."""
         if self._use_fast_path:
             return self._accumulate_int64(q_test)
         return self._accumulate_exact(q_test)
+
+    # ------------------------------------------------- fused batch pipeline
+    def _workspace(self, n: int) -> _BatchWorkspace:
+        """Calling thread's workspace, grown (by doubling) to hold ``n`` rows."""
+        ws: Optional[_BatchWorkspace] = getattr(self._tls, "ws", None)
+        if ws is None or ws.capacity < n:
+            capacity = 64 if ws is None else ws.capacity
+            while capacity < n:
+                capacity *= 2
+            ws = _BatchWorkspace(
+                capacity, self.n_features, self.n_support_vectors, self._use_narrow_mac1
+            )
+            self._tls.ws = ws
+        return ws
+
+    def _quantize_batch(self, X: np.ndarray, ws: _BatchWorkspace) -> np.ndarray:
+        """Quantise a validated float batch into the workspace.
+
+        Mirrors :meth:`quantize_input` operation for operation — scaler
+        standardisation, division by the per-feature scales, round to
+        nearest even, saturation, int64 cast — so the words are bit-identical
+        to the allocating reference path.
+        """
+        n = X.shape[0]
+        scaled = ws.scaled[:n]
+        if self.model.scaler is not None:
+            self.model.scaler.transform_into(X, scaled)
+        else:
+            np.copyto(scaled, X)
+        np.divide(scaled, self.feature_scales[None, :], out=scaled)
+        np.rint(scaled, out=scaled)
+        lo, hi = int_bounds(self.config.feature_bits)
+        np.clip(scaled, lo, hi, out=scaled)
+        if self._use_narrow_mac1:
+            assert ws.q32 is not None
+            q = ws.q32[:n]
+        else:
+            q = ws.q[:n]
+        np.copyto(q, scaled, casting="unsafe")
+        return q
+
+    def _accumulate_fused(self, X: np.ndarray) -> np.ndarray:
+        """Whole pipeline (quantise → MAC1 → squarer → MAC2) on raw inputs.
+
+        Bit-identical to ``self._accumulate(self.quantize_input(X))`` on the
+        int64 fast path, but every intermediate lives in the calling thread's
+        preallocated workspace.  The returned accumulator is a *view* into
+        that workspace — valid only until the same thread's next batch, which
+        is why only the public entry points (which consume it immediately)
+        call this.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.n_features:
+            raise ValueError("expected %d features, got %d" % (self.n_features, X.shape[1]))
+        n = X.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        ws = self._workspace(n)
+        q = self._quantize_batch(X, ws)
+        if self._use_narrow_mac1:
+            assert ws.acc1_32 is not None
+            return self._accumulate_batch_int32(
+                q, ws.acc1_32[:n], ws.acc1[:n], ws.acc2[:n]
+            )
+        return self._accumulate_batch_int64(q, ws.acc1[:n], ws.acc2[:n])
+
+    @int_only
+    def _accumulate_batch_int64(
+        self, q_test: np.ndarray, acc1: np.ndarray, acc2: np.ndarray
+    ) -> np.ndarray:
+        """Integer pipeline over preallocated accumulators (no temporaries).
+
+        Same arithmetic as :meth:`_accumulate_int64` step for step; einsum
+        and matmul on int64 operands are exact, so reassociating the MAC sums
+        cannot change a bit (integer addition is associative, and the
+        overflow check in :meth:`_fits_int64` guarantees no wraparound).
+        """
+        sv_shifted_t = self._sv_shifted_t
+        coeff = self._coeff_i64
+        assert sv_shifted_t is not None and coeff is not None
+        np.einsum("ij,jk->ik", q_test, sv_shifted_t, out=acc1)
+        np.right_shift(acc1, self.config.truncate_after_dot, out=acc1)
+        np.add(acc1, self.kernel_offset_int, out=acc1)
+        np.multiply(acc1, acc1, out=acc1)
+        np.right_shift(acc1, self.config.truncate_after_square, out=acc1)
+        np.matmul(acc1, coeff, out=acc2)
+        np.add(acc2, self.bias_int, out=acc2)
+        return acc2
+
+    @int_only
+    def _accumulate_batch_int32(
+        self,
+        q_test: np.ndarray,
+        acc1_32: np.ndarray,
+        acc1: np.ndarray,
+        acc2: np.ndarray,
+    ) -> np.ndarray:
+        """Integer pipeline with the MAC1 stage in 32-bit words.
+
+        Identical arithmetic to :meth:`_accumulate_batch_int64` — the
+        :meth:`_fits_int32_mac1` gate proves every MAC1 intermediate (the
+        quantised words, the shifted support-vector words, any partial sum of
+        the dot, the truncated dot plus the kernel offset) fits a signed
+        32-bit word, so the narrow stage cannot wrap and its words widen into
+        the int64 accumulator exactly.  The squarer and the MAC2 pass stay in
+        int64, covered by :meth:`_fits_int64`.  The point of the narrowing is
+        speed: int32 matrix products go through numpy's SIMD inner loops,
+        roughly halving the whole kernel's time per window.
+        """
+        sv_shifted_t32 = self._sv_shifted_t32
+        coeff = self._coeff_i64
+        assert sv_shifted_t32 is not None and coeff is not None
+        np.einsum("ij,jk->ik", q_test, sv_shifted_t32, out=acc1_32)
+        np.right_shift(acc1_32, self.config.truncate_after_dot, out=acc1_32)
+        np.add(acc1_32, np.int32(self.kernel_offset_int), out=acc1_32)
+        np.copyto(acc1, acc1_32)
+        np.multiply(acc1, acc1, out=acc1)
+        np.right_shift(acc1, self.config.truncate_after_square, out=acc1)
+        np.matmul(acc1, coeff, out=acc2)
+        np.add(acc2, self.bias_int, out=acc2)
+        return acc2
 
     @int_only
     def _accumulate_int64(self, q_test: np.ndarray) -> np.ndarray:

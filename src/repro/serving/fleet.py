@@ -150,6 +150,10 @@ class MonitorFleet:
     clock:
         Monotonic time source used for latency-based drain policies;
         injectable for deterministic tests.
+    feature_cache:
+        Overlap-aware per-beat feature cache of every monitor this fleet
+        creates or revives (bit-identical either way; see
+        :class:`~repro.serving.streaming.StreamingMonitor`).
     """
 
     def __init__(
@@ -161,6 +165,7 @@ class MonitorFleet:
         drain_policy: DrainPolicy | None = None,
         auto_register: bool = True,
         clock: Callable[[], float] = time.monotonic,
+        feature_cache: bool = True,
     ) -> None:
         if isinstance(classifier, ModelRegistry):
             self.registry = classifier
@@ -171,6 +176,7 @@ class MonitorFleet:
         self.detector_params = detector_params
         self.drain_policy = drain_policy
         self.auto_register = bool(auto_register)
+        self.feature_cache = bool(feature_cache)
         self._clock = clock
         self._monitors: Dict[int, StreamingMonitor] = {}
         self._pending: List[PendingWindow] = []
@@ -223,6 +229,7 @@ class MonitorFleet:
             classifier=None,
             windowing=self.windowing,
             detector_params=self.detector_params,
+            feature_cache=self.feature_cache,
         )
         self._monitors[patient_id] = monitor
         return monitor
@@ -364,7 +371,9 @@ class MonitorFleet:
                 "state fs %g Hz does not match the fleet's %g Hz" % (state.fs, self.fs)
             )
         if state.has_monitor:
-            self._monitors[patient_id] = StreamingMonitor.from_snapshot(state)
+            self._monitors[patient_id] = StreamingMonitor.from_snapshot(
+                state, feature_cache=self.feature_cache
+            )
         if state.pending:
             self._queue(list(state.pending))
             if pending_age_s > 0.0:

@@ -372,6 +372,7 @@ def _shard_worker(
     windowing: Optional[WindowingParams],
     detector_params: Optional[PanTompkinsParams],
     auto_register: bool,
+    feature_cache: bool = True,
 ) -> None:
     """Worker-process loop: host one shard fleet, serve pipe requests."""
     fleet = MonitorFleet(
@@ -380,6 +381,7 @@ def _shard_worker(
         windowing=windowing,
         detector_params=detector_params,
         auto_register=auto_register,
+        feature_cache=feature_cache,
     )
     while True:
         request = conn.recv()
@@ -409,8 +411,16 @@ class _ProcessBackend:
         windowing,
         detector_params,
         auto_register: bool,
+        feature_cache: bool = True,
     ) -> None:
-        self._spawn_args = (classifier, fs, windowing, detector_params, auto_register)
+        self._spawn_args = (
+            classifier,
+            fs,
+            windowing,
+            detector_params,
+            auto_register,
+            feature_cache,
+        )
         self._conns = []
         self._procs = []
         for _ in range(n_shards):
@@ -544,6 +554,7 @@ class ShardedFleet:
         clock: Callable[[], float] = time.monotonic,
         replicas: int = 64,
         shard_weights: Optional[Sequence[float]] = None,
+        feature_cache: bool = True,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError("unknown backend %r (choose from %s)" % (backend, _BACKENDS))
@@ -558,6 +569,7 @@ class ShardedFleet:
         self.auto_register = bool(auto_register)
         self.windowing = windowing
         self.detector_params = detector_params
+        self.feature_cache = bool(feature_cache)
         self.ring = HashRing(self.n_shards, replicas=replicas, weights=shard_weights)
         self._clock = clock
         # The registry is routing-invariant: every shard classifies with the
@@ -573,6 +585,7 @@ class ShardedFleet:
                 windowing,
                 detector_params,
                 self.auto_register,
+                self.feature_cache,
             )
         else:
             shards = [self._make_shard() for _ in range(self.n_shards)]
@@ -596,6 +609,7 @@ class ShardedFleet:
             detector_params=self.detector_params,
             auto_register=self.auto_register,
             clock=self._clock,
+            feature_cache=self.feature_cache,
         )
 
     # --------------------------------------------------------------- models

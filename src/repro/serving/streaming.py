@@ -33,8 +33,9 @@ __all__ = [
 
 #: Version stamp of :class:`MonitorState`; bumped on any incompatible change
 #: to the snapshot layout, so a restore can never silently misread a state
-#: produced by a different serving build.
-MONITOR_STATE_VERSION = 1
+#: produced by a different serving build.  Version 2: the ring-buffer
+#: windower added ``WindowerState.base_beat_index``.
+MONITOR_STATE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -153,7 +154,14 @@ def classify_windows(classifier, pending: Sequence[PendingWindow]) -> List[Windo
     usable = [i for i, window in enumerate(pending) if window.usable]
     decisions: List[Optional[WindowDecision]] = [None] * len(pending)
     if usable:
-        X = np.vstack([pending[i].features for i in usable])
+        # One preallocated batch matrix filled row by row (the feature
+        # vectors are scattered across PendingWindow objects, so a copy is
+        # unavoidable — but np.vstack would build the same copy *plus* a
+        # temporary tuple of row views).
+        first = np.asarray(pending[usable[0]].features)
+        X = np.empty((len(usable), first.shape[0]), dtype=first.dtype)
+        for row, i in enumerate(usable):
+            X[row] = pending[i].features
         if hasattr(classifier, "scores_and_labels"):
             scores, labels = classifier.scores_and_labels(X)
         else:
@@ -203,13 +211,20 @@ class StreamingMonitor:
         Window grid configuration (three-minute non-overlapping by default).
     detector_params:
         Pan–Tompkins tuning of the streaming R-peak detector.
+    feature_cache:
+        Enable the overlap-aware per-beat partial cache of the feature
+        extractor (bit-identical either way; the flag exists so parity can
+        be asserted and the cache disabled in A/B comparisons).
     """
 
     #: Not captured by :meth:`snapshot`, and pinned so by the
     #: ``snapshot-completeness`` rule of :mod:`repro.analysis`: the classifier
     #: is fleet-owned (a migrated patient is classified by the *destination*
-    #: fleet's registry) and the feature extractor is stateless.
-    _SNAPSHOT_EXCLUDE = ("classifier", "_extractor")
+    #: fleet's registry), and the feature extractor (with the
+    #: ``feature_cache`` flag that configures it) carries pure cache state —
+    #: a revived monitor rebuilds an empty cache and reseeds it from the
+    #: first window it emits, bit-identically.
+    _SNAPSHOT_EXCLUDE = ("classifier", "_extractor", "feature_cache")
 
     def __init__(
         self,
@@ -218,13 +233,15 @@ class StreamingMonitor:
         classifier=None,
         windowing: WindowingParams | None = None,
         detector_params: PanTompkinsParams | None = None,
+        feature_cache: bool = True,
     ) -> None:
         self.patient_id = int(patient_id)
         self.fs = float(fs)
         self.classifier = classifier
+        self.feature_cache = bool(feature_cache)
         self._detector = StreamingPeakDetector(self.fs, detector_params)
         self._windower = StreamingWindower(windowing)
-        self._extractor = FeatureExtractor()
+        self._extractor = FeatureExtractor(feature_cache=self.feature_cache)
         self._sequence = SequenceTracker()
         self._n_windows = 0
         self._n_usable = 0
@@ -271,7 +288,9 @@ class StreamingMonitor:
         )
 
     @classmethod
-    def from_snapshot(cls, state: MonitorState, classifier=None) -> "StreamingMonitor":
+    def from_snapshot(
+        cls, state: MonitorState, classifier=None, feature_cache: bool = True
+    ) -> "StreamingMonitor":
         """Revive a monitor from a :class:`MonitorState`, mid-stream.
 
         The revived monitor is behaviourally indistinguishable from the one
@@ -295,6 +314,7 @@ class StreamingMonitor:
             classifier=classifier,
             windowing=state.windower.params,
             detector_params=state.detector.params,
+            feature_cache=feature_cache,
         )
         monitor._detector = StreamingPeakDetector.from_snapshot(state.detector)
         monitor._windower = StreamingWindower.from_snapshot(state.windower)
@@ -348,9 +368,7 @@ class StreamingMonitor:
             features: Optional[np.ndarray] = None
             if window.n_beats >= min_beats:
                 try:
-                    features = self._extractor.extract_beats(
-                        window.beat_times_s, window.rr_s, window.r_amplitudes_mv
-                    )
+                    features = self._extractor.extract_beat_window(window)
                 except ValueError:
                     features = None
             self._n_windows += 1

@@ -126,6 +126,14 @@ class BeatWindow:
     *starting* beat falls inside the window, so it includes the interval
     spanning the window boundary whenever the first beat after the window has
     already been observed.
+
+    ``first_beat_index`` is the absolute index (counting every beat ever
+    pushed into the emitting :class:`StreamingWindower`, across retirements
+    and resets) of ``beat_times_s[0]``.  Overlapping windows emitted by one
+    windower therefore share absolute beat indices, which is the key of the
+    overlap-aware feature cache
+    (:class:`repro.features.cache.BeatPartialCache`).  ``-1`` means "unknown
+    provenance" (hand-built windows); caches fall back to a full recompute.
     """
 
     start_s: float
@@ -133,6 +141,7 @@ class BeatWindow:
     beat_times_s: np.ndarray
     rr_s: np.ndarray
     r_amplitudes_mv: np.ndarray
+    first_beat_index: int = -1
 
     @property
     def n_beats(self) -> int:
@@ -159,6 +168,11 @@ class WindowerState:
     r_amplitudes_mv: np.ndarray
     window_start_s: float
     clock_s: float
+    #: Absolute index of ``beat_times_s[0]`` in the windower's lifetime beat
+    #: stream (see :attr:`BeatWindow.first_beat_index`); preserved across
+    #: migration so a revived monitor keeps emitting windows whose beat
+    #: indices extend the original stream instead of restarting at zero.
+    base_beat_index: int = 0
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, WindowerState):
@@ -169,6 +183,7 @@ class WindowerState:
             and np.array_equal(self.r_amplitudes_mv, other.r_amplitudes_mv)
             and self.window_start_s == other.window_start_s
             and self.clock_s == other.clock_s
+            and self.base_beat_index == other.base_beat_index
         )
 
 
@@ -190,18 +205,48 @@ class StreamingWindower:
     The stream clock is advanced implicitly by pushed beats and explicitly by
     :meth:`advance`, which a caller should feed with the *finalised* time of
     its beat detector.
+
+    Internally the buffered beats live in a preallocated power-of-two ring
+    (times, amplitudes and the RR interval starting at each beat), so a push
+    costs a bounded copy of the *new* beats instead of an
+    ``np.concatenate`` reallocation of the whole buffer, and each RR
+    interval is computed exactly once per beat pair rather than once per
+    overlapping window.  Emitted windows are bit-identical to the previous
+    concatenating implementation (pinned by the hot-path property suite).
     """
 
     #: Extra stream time to wait for a window-boundary beat before closing a
     #: window on the clock alone.
     boundary_grace_s: float = 2.0
 
+    #: Starting ring capacity; grows by doubling when a push outruns it.
+    #: Kept small enough that tests can exercise wraparound cheaply.
+    _INITIAL_CAPACITY = 1024
+
+    #: Ring geometry and the derived RR ring are not part of the snapshot:
+    #: :meth:`snapshot` stores the *linearised* logical arrays, and
+    #: :meth:`from_snapshot` rebuilds the ring (and recomputes the RR ring
+    #: from the beat times, bit-identically) at whatever capacity fits.
+    _SNAPSHOT_EXCLUDE = ("_cap", "_head", "_rr_buf")
+
     def __init__(self, params: WindowingParams | None = None) -> None:
         self.params = params or WindowingParams()
         if self.params.step_s <= 0:
             raise ValueError("step_s must be positive")
-        self._times = np.empty(0)
-        self._amps = np.empty(0)
+        self._cap = int(self._INITIAL_CAPACITY)
+        if self._cap < 2 or (self._cap & (self._cap - 1)) != 0:
+            raise ValueError("ring capacity must be a power of two >= 2")
+        self._times_buf = np.empty(self._cap)
+        self._amps_buf = np.empty(self._cap)
+        #: ``_rr_buf[phys(i)] = times[i+1] - times[i]``, valid for logical
+        #: ``i`` in ``[0, count-1)``; the difference is computed once when
+        #: beat ``i+1`` arrives and reused by every window containing it.
+        self._rr_buf = np.empty(self._cap)
+        self._head = 0
+        self._count = 0
+        #: Absolute beat index of logical element 0 (monotone over the
+        #: windower's lifetime, including across :meth:`reset`).
+        self._base = 0
         self._start = 0.0
         self._clock = 0.0
 
@@ -210,14 +255,71 @@ class StreamingWindower:
         """Start time of the next window to be emitted."""
         return self._start
 
+    @property
+    def buffered_beats(self) -> int:
+        """Number of beats currently held in the ring."""
+        return self._count
+
+    # ------------------------------------------------------- ring primitives
+    def _phys(self, logical: int) -> int:
+        return (self._head + logical) & (self._cap - 1)
+
+    def _copy_out(self, buf: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Contiguous copy of logical range ``[lo, hi)`` of a ring buffer."""
+        n = hi - lo
+        if n <= 0:
+            return np.empty(0)
+        out = np.empty(n)
+        p0 = self._phys(lo)
+        straight = min(n, self._cap - p0)
+        out[:straight] = buf[p0 : p0 + straight]
+        if straight < n:
+            out[straight:] = buf[: n - straight]
+        return out
+
+    def _write(self, buf: np.ndarray, lo: int, values: np.ndarray) -> None:
+        """Write ``values`` at logical positions ``[lo, lo + len(values))``."""
+        n = values.shape[0]
+        if n == 0:
+            return
+        p0 = self._phys(lo)
+        straight = min(n, self._cap - p0)
+        buf[p0 : p0 + straight] = values[:straight]
+        if straight < n:
+            buf[: n - straight] = values[straight:]
+
+    def _search(self, value: float, side: str) -> int:
+        """``np.searchsorted`` over the logical (wrapped) beat-time order."""
+        straight = min(self._count, self._cap - self._head)
+        first_seg = self._times_buf[self._head : self._head + straight]
+        idx = int(np.searchsorted(first_seg, value, side=side))
+        if idx < straight or straight == self._count:
+            return idx
+        second_seg = self._times_buf[: self._count - straight]
+        return straight + int(np.searchsorted(second_seg, value, side=side))
+
+    def _grow(self, needed: int) -> None:
+        """Reallocate to the next power of two >= ``needed``, linearised."""
+        cap = self._cap
+        while cap < needed:
+            cap *= 2
+        for name in ("_times_buf", "_amps_buf", "_rr_buf"):
+            new_buf = np.empty(cap)
+            new_buf[: self._count] = self._copy_out(getattr(self, name), 0, self._count)
+            setattr(self, name, new_buf)
+        self._cap = cap
+        self._head = 0
+
+    # ------------------------------------------------------- snapshot / reset
     def snapshot(self) -> WindowerState:
         """Capture the partial-window state as a picklable value object."""
         return WindowerState(
             params=replace(self.params),
-            beat_times_s=self._times.copy(),
-            r_amplitudes_mv=self._amps.copy(),
+            beat_times_s=self._copy_out(self._times_buf, 0, self._count),
+            r_amplitudes_mv=self._copy_out(self._amps_buf, 0, self._count),
             window_start_s=self._start,
             clock_s=self._clock,
+            base_beat_index=self._base,
         )
 
     @classmethod
@@ -225,12 +327,36 @@ class StreamingWindower:
         """Revive a windower mid-stream, emitting exactly the windows the
         original would have emitted for any continuation of the beat stream."""
         windower = cls(replace(state.params))
-        windower._times = np.array(state.beat_times_s, dtype=float, copy=True)
-        windower._amps = np.array(state.r_amplitudes_mv, dtype=float, copy=True)
+        times = np.array(state.beat_times_s, dtype=float, copy=True).ravel()
+        amps = np.array(state.r_amplitudes_mv, dtype=float, copy=True).ravel()
+        if times.shape[0] + 1 > windower._cap:
+            windower._grow(times.shape[0] + 1)
+        windower._write(windower._times_buf, 0, times)
+        windower._write(windower._amps_buf, 0, amps)
+        if times.shape[0] > 1:
+            windower._write(windower._rr_buf, 0, np.diff(times))
+        windower._count = int(times.shape[0])
+        windower._base = int(getattr(state, "base_beat_index", 0))
         windower._start = float(state.window_start_s)
         windower._clock = float(state.clock_s)
         return windower
 
+    def reset(self, start_s: float) -> None:
+        """Drop every buffered beat and restart the window grid at ``start_s``.
+
+        The recovery primitive for sequence gaps (lossy transport): windows
+        spanning the gap are abandoned instead of being emitted with a hole
+        in their beat data.  The absolute beat index keeps counting past the
+        dropped beats, so downstream per-beat caches can never alias a
+        pre-gap beat with a post-gap one.
+        """
+        self._base += self._count
+        self._count = 0
+        self._head = 0
+        self._start = float(start_s)
+        self._clock = max(self._clock, float(start_s))
+
+    # ---------------------------------------------------------------- stream
     def push(
         self, beat_times_s: np.ndarray, r_amplitudes: np.ndarray, now_s: float | None = None
     ) -> List[BeatWindow]:
@@ -240,10 +366,24 @@ class StreamingWindower:
         if beat_times_s.shape != r_amplitudes.shape:
             raise ValueError("beat times and amplitudes must have the same length")
         if beat_times_s.size:
-            if self._times.size and beat_times_s[0] < self._times[-1]:
+            last_time = (
+                self._times_buf[self._phys(self._count - 1)] if self._count else None
+            )
+            if last_time is not None and beat_times_s[0] < last_time:
                 raise ValueError("beats must be pushed in non-decreasing time order")
-            self._times = np.concatenate((self._times, beat_times_s))
-            self._amps = np.concatenate((self._amps, r_amplitudes))
+            incoming = int(beat_times_s.shape[0])
+            if self._count + incoming > self._cap:
+                self._grow(self._count + incoming)
+            self._write(self._times_buf, self._count, beat_times_s)
+            self._write(self._amps_buf, self._count, r_amplitudes)
+            # RR intervals: the seam pair (old last beat -> new first beat)
+            # plus the pairs inside the pushed block.  Same subtractions a
+            # window-time np.diff would perform, done once per pair.
+            if last_time is not None:
+                self._rr_buf[self._phys(self._count - 1)] = beat_times_s[0] - last_time
+            if incoming > 1:
+                self._write(self._rr_buf, self._count, np.diff(beat_times_s))
+            self._count += incoming
             self._clock = max(self._clock, float(beat_times_s[-1]))
         if now_s is not None:
             self._clock = max(self._clock, float(now_s))
@@ -262,31 +402,35 @@ class StreamingWindower:
         out: List[BeatWindow] = []
         while True:
             end = self._start + self.params.window_s
-            has_boundary_beat = bool(self._times.size) and self._times[-1] >= end
+            has_boundary_beat = (
+                self._count > 0 and self._times_buf[self._phys(self._count - 1)] >= end
+            )
             closed_by_clock = self._clock >= (end if final else end + self.boundary_grace_s)
             if not (has_boundary_beat or closed_by_clock):
                 break
-            first = int(np.searchsorted(self._times, self._start, side="left"))
-            last = int(np.searchsorted(self._times, end, side="left"))
-            beats = self._times[first:last].copy()
-            if last < self._times.size:
-                rr = np.diff(self._times[first : last + 1])
+            first = self._search(self._start, side="left")
+            last = self._search(end, side="left")
+            beats = self._copy_out(self._times_buf, first, last)
+            if last < self._count:
+                rr = self._copy_out(self._rr_buf, first, last)
             else:
-                rr = np.diff(beats)
+                rr = self._copy_out(self._rr_buf, first, max(first, last - 1))
             out.append(
                 BeatWindow(
                     start_s=float(self._start),
                     end_s=float(end),
                     beat_times_s=beats,
                     rr_s=rr,
-                    r_amplitudes_mv=self._amps[first:last].copy(),
+                    r_amplitudes_mv=self._copy_out(self._amps_buf, first, last),
+                    first_beat_index=self._base + first,
                 )
             )
             self._start += self.params.step_s
-            keep = int(np.searchsorted(self._times, self._start, side="left"))
+            keep = self._search(self._start, side="left")
             if keep > 0:
-                self._times = self._times[keep:]
-                self._amps = self._amps[keep:]
+                self._head = self._phys(keep)
+                self._count -= keep
+                self._base += keep
         return out
 
 

@@ -59,6 +59,19 @@ class StandardScaler:
         X = np.asarray(X, dtype=float)
         return (X - self.mean_) / self.scale_
 
+    def transform_into(self, X: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Standardise ``X`` into a preallocated ``out`` buffer.
+
+        Bit-identical to :meth:`transform` (same subtract-then-divide
+        elementwise sequence) but allocation-free; the serving hot path uses
+        this to standardise window batches into reusable workspaces.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("StandardScaler must be fitted before transform_into()")
+        np.subtract(X, self.mean_, out=out)
+        np.divide(out, self.scale_, out=out)
+        return out
+
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         """Fit on ``X`` then transform it."""
         return self.fit(X).transform(X)

@@ -59,6 +59,7 @@ GATEWAY_LEDGER_COUNTERS: Tuple[str, ...] = (
     "_frames_shed",
     "_frames_rejected",
     "_frames_errored",
+    "_frames_gap_dropped",
     "_queued",
 )
 

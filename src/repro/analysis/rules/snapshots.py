@@ -50,13 +50,15 @@ class SnapshotSpec:
 #: are nested inside ``MonitorState`` pickles, so they are guarded by
 #: ``MONITOR_STATE_VERSION`` too.
 DEFAULT_SNAPSHOT_REGISTRY: Dict[str, SnapshotSpec] = {
-    # Version 2: the ring-buffer StreamingWindower added
-    # ``WindowerState.base_beat_index`` (the absolute beat index anchoring
-    # the overlap-aware feature cache).  The nested states share the guard
-    # constant, so all three entries are re-pinned at the bumped version.
+    # Version 3: the lossy transport mode added the gap counters
+    # ``MonitorState.n_gaps`` / ``MonitorState.windows_lost`` and the
+    # adaptive-level seed anchor ``PeakDetectorState.seed_from`` (where the
+    # post-gap level re-seed window starts).  The nested states share the
+    # guard constant, so all three entries are re-pinned at the bumped
+    # version (``WindowerState``'s fields are unchanged since version 2).
     "MonitorState": SnapshotSpec(
         version_const="MONITOR_STATE_VERSION",
-        version=2,
+        version=3,
         fields=(
             "version",
             "patient_id",
@@ -67,11 +69,13 @@ DEFAULT_SNAPSHOT_REGISTRY: Dict[str, SnapshotSpec] = {
             "n_windows",
             "n_usable",
             "pending",
+            "n_gaps",
+            "windows_lost",
         ),
     ),
     "PeakDetectorState": SnapshotSpec(
         version_const="MONITOR_STATE_VERSION",
-        version=2,
+        version=3,
         fields=(
             "fs",
             "params",
@@ -81,11 +85,12 @@ DEFAULT_SNAPSHOT_REGISTRY: Dict[str, SnapshotSpec] = {
             "finalized",
             "level",
             "last_peak",
+            "seed_from",
         ),
     ),
     "WindowerState": SnapshotSpec(
         version_const="MONITOR_STATE_VERSION",
-        version=2,
+        version=3,
         fields=(
             "params",
             "beat_times_s",

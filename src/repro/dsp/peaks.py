@@ -179,6 +179,10 @@ class PeakDetectorState:
     finalized: int
     level: Optional[float]
     last_peak: int
+    #: Absolute sample index the adaptive-level seed window starts at — 0 for
+    #: an unbroken stream, the resume point after a :meth:`resume_at` gap
+    #: reset (the level re-seeds from the first two seconds *after* the gap).
+    seed_from: int = 0
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, PeakDetectorState):
@@ -192,6 +196,7 @@ class PeakDetectorState:
             and self.finalized == other.finalized
             and self.level == other.level
             and self.last_peak == other.last_peak
+            and self.seed_from == other.seed_from
         )
 
 
@@ -251,6 +256,7 @@ class StreamingPeakDetector:
         self._finalized = 0  # absolute index up to which detection is final
         self._level: float | None = None
         self._last_peak = -10 * self._refractory  # absolute index of last peak
+        self._seed_from = 0  # absolute index the level seed window starts at
 
     @property
     def n_samples_seen(self) -> int:
@@ -283,6 +289,7 @@ class StreamingPeakDetector:
             finalized=self._finalized,
             level=self._level,
             last_peak=self._last_peak,
+            seed_from=self._seed_from,
         )
 
     @classmethod
@@ -300,6 +307,7 @@ class StreamingPeakDetector:
         detector._finalized = int(state.finalized)
         detector._level = None if state.level is None else float(state.level)
         detector._last_peak = int(state.last_peak)
+        detector._seed_from = int(state.seed_from)
         return detector
 
     def process(self, chunk: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -321,6 +329,46 @@ class StreamingPeakDetector:
         """Finalise the held-back tail at end of stream."""
         return self._detect(final=True)
 
+    @property
+    def warmup_s(self) -> float:
+        """Seconds of post-:meth:`resume_at` signal before detection matches
+        an unbroken stream's bit-for-bit.
+
+        After a gap reset the first samples see a zero-padded filter edge
+        instead of real left context, and the adaptive level re-seeds from
+        the first two seconds of the new segment — so beats finalised inside
+        this window may differ from the lossless run's.  Callers placing a
+        post-gap window boundary (``StreamingMonitor.note_gap``) must leave
+        at least this much guard after the resume point.
+        """
+        edge = self._taps.size + self._integration + self._half_refine + self._refractory
+        return 2.0 + edge / self.fs
+
+    def resume_at(self, abs_sample: int) -> None:
+        """Resume the stream at absolute sample ``abs_sample`` after a gap.
+
+        Samples ``[n_samples_seen, abs_sample)`` are declared lost: the
+        carry-over buffer (including any unfinalised tail — its look-ahead
+        context is gone for good), the adaptive level and the refractory
+        bookkeeping are all reset to segment-fresh values, so everything the
+        detector emits afterwards depends only on post-gap samples.  Indices
+        stay absolute and strictly monotone: every future peak lies at or
+        after ``abs_sample``, which is past everything already emitted.
+        """
+        abs_sample = int(abs_sample)
+        if abs_sample < self._n_seen:
+            raise ValueError(
+                "cannot resume at sample %d: stream has already seen %d"
+                % (abs_sample, self._n_seen)
+            )
+        self._buffer = np.empty(0)
+        self._buffer_start = abs_sample
+        self._n_seen = abs_sample
+        self._finalized = abs_sample
+        self._level = None
+        self._last_peak = abs_sample - 10 * self._refractory
+        self._seed_from = abs_sample
+
     # ------------------------------------------------------------- internals
     def _empty(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         return np.empty(0, dtype=int), np.empty(0), np.empty(0)
@@ -337,11 +385,12 @@ class StreamingPeakDetector:
         if self._level is None:
             # Wait for about two seconds of signal before freezing the
             # initial level estimate, unless the stream is being flushed.
-            # The estimate uses exactly the first two seconds (the buffer
-            # still starts at sample zero here, since trimming only happens
-            # after a detection pass), so it does not depend on how the
-            # stream was cut into chunks.
-            if not final and self._n_seen < int(2 * self.fs):
+            # The estimate uses exactly the first two seconds past
+            # ``_seed_from`` (the buffer still starts there, since trimming
+            # only happens after a detection pass and ``resume_at`` restarts
+            # the buffer at the resume point), so it does not depend on how
+            # the stream was cut into chunks.
+            if not final and self._n_seen - self._seed_from < int(2 * self.fs):
                 return self._empty()
             self._level = float(np.percentile(integrated[: int(2 * self.fs)], 98))
         threshold = self.params.threshold_fraction * self._level

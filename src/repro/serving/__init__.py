@@ -71,6 +71,7 @@ frame is accounted on exactly one host (``tests/test_serving_cluster.py``).
 
 from repro.serving.streaming import (
     MONITOR_STATE_VERSION,
+    GapStats,
     MonitorState,
     PendingWindow,
     StreamingMonitor,
@@ -137,6 +138,7 @@ from repro.serving.wire import (
 
 __all__ = [
     "MONITOR_STATE_VERSION",
+    "GapStats",
     "MonitorState",
     "PendingWindow",
     "WindowDecision",

@@ -138,6 +138,29 @@ class ClusterStats:
         )
 
     @property
+    def frames_gap_dropped(self) -> int:
+        """Stale datagrams dropped behind gaps, across every gateway that
+        ever lived (always 0 on a strict-transport cluster)."""
+        return sum(g.frames_gap_dropped for g in self.gateways.values()) + sum(
+            g.frames_gap_dropped for g in self.retired.values()
+        )
+
+    @property
+    def gaps_detected(self) -> int:
+        """Sequence gaps absorbed by monitors across the live nodes."""
+        return sum(g.gaps_detected for g in self.gateways.values()) + sum(
+            g.gaps_detected for g in self.retired.values()
+        )
+
+    @property
+    def windows_reset_by_gap(self) -> int:
+        """Grid windows abandoned by gap resets across the live nodes — the
+        cluster-wide measured decision impact of frame loss."""
+        return sum(g.windows_reset_by_gap for g in self.gateways.values()) + sum(
+            g.windows_reset_by_gap for g in self.retired.values()
+        )
+
+    @property
     def fully_accounted(self) -> bool:
         """Every received frame is accounted on exactly one host."""
         members = list(self.gateways.values()) + list(self.retired.values())
@@ -195,6 +218,17 @@ class GatewayCluster:
         (exact crash revival, loss-free handoff) assume the lossless
         ``"block"`` policy; the lossy policies still balance every ledger
         but a replay cannot reconstruct what a policy shed.
+    lossy:
+        Datagram-transport mode on every node: fleets and gateways are
+        built with ``lossy=True`` (see
+        :class:`~repro.serving.ingest.IngestGateway`), so frame loss —
+        shed under pressure, or skipped by a crash replay — becomes a
+        detected, accounted gap (``frames_gap_dropped``,
+        ``windows_reset_by_gap`` in :class:`ClusterStats`) instead of a
+        rejected stream.  Defaults ``backpressure`` to ``"shed-oldest"``
+        when the caller passed none: a lossy transport that blocks
+        producers would defeat its own purpose, though an explicit policy
+        is respected.
     windowing / detector_params:
         Shared monitor configuration, as for a single fleet.
     handoff_timeout_s:
@@ -218,17 +252,21 @@ class GatewayCluster:
         *,
         n_nodes: int = 2,
         queue_depth: int = 64,
-        backpressure: str = "block",
+        backpressure: Optional[str] = None,
         windowing: object = None,
         detector_params: object = None,
         handoff_timeout_s: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
         host: str = "127.0.0.1",
+        lossy: bool = False,
     ) -> None:
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
         self.fs = float(fs)
         self.handoff_timeout_s = float(handoff_timeout_s)
+        self.lossy = bool(lossy)
+        if backpressure is None:
+            backpressure = "shed-oldest" if self.lossy else "block"
         self._classifier = classifier
         self._windowing = windowing
         self._detector_params = detector_params
@@ -268,12 +306,14 @@ class GatewayCluster:
             windowing=self._windowing,  # type: ignore[arg-type]
             detector_params=self._detector_params,  # type: ignore[arg-type]
             clock=self._clock,
+            lossy=self.lossy,
         )
         gateway = IngestGateway(
             fleet,
             queue_depth=self._queue_depth,
             backpressure=self._backpressure,
             clock=self._clock,
+            lossy=self.lossy,
         )
         return _ClusterNode(slot, "g%d" % slot, fleet, gateway)
 

@@ -42,6 +42,7 @@ from repro.serving.registry import InferenceBackend, ModelRegistry, classify_gro
 from repro.serving.scheduler import ChunkCountPolicy, DrainPolicy, DrainStats
 from repro.serving.streaming import (
     MONITOR_STATE_VERSION,
+    GapStats,
     MonitorState,
     PendingWindow,
     StreamingMonitor,
@@ -154,6 +155,13 @@ class MonitorFleet:
         Overlap-aware per-beat feature cache of every monitor this fleet
         creates or revives (bit-identical either way; see
         :class:`~repro.serving.streaming.StreamingMonitor`).
+    lossy:
+        Datagram-transport mode for every monitor this fleet creates or
+        revives: ``seq`` values are absolute sample offsets, and a jump
+        ahead is absorbed as frame loss instead of raising
+        ``OutOfOrderChunkError`` (see
+        :meth:`~repro.serving.streaming.StreamingMonitor.note_gap`).  A
+        fleet is lossy or strict as a whole, never patient by patient.
     """
 
     def __init__(
@@ -166,6 +174,7 @@ class MonitorFleet:
         auto_register: bool = True,
         clock: Callable[[], float] = time.monotonic,
         feature_cache: bool = True,
+        lossy: bool = False,
     ) -> None:
         if isinstance(classifier, ModelRegistry):
             self.registry = classifier
@@ -177,6 +186,7 @@ class MonitorFleet:
         self.drain_policy = drain_policy
         self.auto_register = bool(auto_register)
         self.feature_cache = bool(feature_cache)
+        self.lossy = bool(lossy)
         self._clock = clock
         self._monitors: Dict[int, StreamingMonitor] = {}
         self._pending: List[PendingWindow] = []
@@ -230,6 +240,7 @@ class MonitorFleet:
             windowing=self.windowing,
             detector_params=self.detector_params,
             feature_cache=self.feature_cache,
+            lossy=self.lossy,
         )
         self._monitors[patient_id] = monitor
         return monitor
@@ -372,7 +383,7 @@ class MonitorFleet:
             )
         if state.has_monitor:
             self._monitors[patient_id] = StreamingMonitor.from_snapshot(
-                state, feature_cache=self.feature_cache
+                state, feature_cache=self.feature_cache, lossy=self.lossy
             )
         if state.pending:
             self._queue(list(state.pending))
@@ -473,6 +484,20 @@ class MonitorFleet:
             oldest_pending_age_s=oldest_age,
             n_patients=len(self._monitors),
         )
+
+    def gap_stats(self) -> GapStats:
+        """Aggregate lossy-mode gap accounting over every live monitor.
+
+        Always answers (all-zero on a strict fleet), so gateways can poll it
+        unconditionally.  Counts follow a patient through migration — they
+        ride in :class:`~repro.serving.streaming.MonitorState`.
+        """
+        gaps = 0
+        windows_reset = 0
+        for monitor in self._monitors.values():
+            gaps += monitor.n_gaps
+            windows_reset += monitor.windows_reset_by_gap
+        return GapStats(gaps=gaps, windows_reset=windows_reset)
 
     def should_drain(self) -> bool:
         """Whether the configured drain policy wants a drain right now."""

@@ -97,9 +97,9 @@ class GatewayStats:
     """Point-in-time snapshot of the gateway's frame ledger and queues.
 
     The ledger is conservative: ``frames_received`` splits exactly into
-    delivered + queued + shed + rejected + errored (:attr:`fully_accounted`),
-    so under a lossy backpressure policy the losses are *measured*, never
-    implied.
+    delivered + queued + shed + rejected + errored + gap-dropped
+    (:attr:`fully_accounted`), so under a lossy backpressure policy the
+    losses are *measured*, never implied.
     """
 
     #: Frames that entered the gateway (decoded from TCP or submitted).
@@ -146,6 +146,18 @@ class GatewayStats:
     #: fleet: which design points are actually doing the classifying.  Empty
     #: when the fleet does not expose ``model_label_for``.
     drained_by_model: Mapping[str, int] = field(default_factory=dict)
+    #: Lossy mode only: frames dropped at delivery because they fell behind a
+    #: gap the stream already skipped past (stale datagrams — e.g. a replay
+    #: of frames an earlier shed made obsolete).  A ledger outcome, distinct
+    #: from ``frames_errored``: on a lossy transport these are expected loss,
+    #: not faults.
+    frames_gap_dropped: int = 0
+    #: Lossy mode only: sequence gaps the fleet's monitors absorbed
+    #: (``StreamingMonitor.note_gap`` calls), polled from the fleet.
+    gaps_detected: int = 0
+    #: Lossy mode only: grid windows abandoned by gap resets — the measured
+    #: decision impact of all loss so far, polled from the fleet.
+    windows_reset_by_gap: int = 0
 
     @property
     def frames_per_s(self) -> float:
@@ -155,13 +167,15 @@ class GatewayStats:
     @property
     def fully_accounted(self) -> bool:
         """Every received frame is delivered, queued, shed, rejected,
-        errored — or forwarded to another gateway of the cluster."""
+        errored, dropped behind a gap — or forwarded to another gateway of
+        the cluster."""
         return self.frames_received == (
             self.frames_delivered
             + self.queued_frames
             + self.frames_shed
             + self.frames_rejected
             + self.frames_errored
+            + self.frames_gap_dropped
             + self.frames_forwarded
         )
 
@@ -169,12 +183,17 @@ class GatewayStats:
 class _PatientQueue:
     """One patient's bounded FIFO of decoded chunks plus its space signal."""
 
-    __slots__ = ("items", "space")
+    __slots__ = ("items", "space", "stale")
 
     def __init__(self) -> None:
         self.items: Deque[EcgChunk] = deque()
         self.space = asyncio.Event()
         self.space.set()
+        #: Arrival-order markers in the gateway's global deque that no longer
+        #: have a frame behind them (their frame was shed or forwarded).  The
+        #: pump consumes this debt marker-by-marker; the compactor uses it to
+        #: rebuild the order deque without scanning every queue.
+        self.stale = 0
 
 
 class IngestGateway:
@@ -213,7 +232,20 @@ class IngestGateway:
         ``"block"`` (the gateway is lossless, so a gap really is a transport
         fault) and ``False`` under the lossy policies (a shed frame is a
         *policy decision* — the stream must keep flowing across the gap,
-        which strict sequencing would forbid).  Override to force either.
+        which strict sequencing would forbid).  With ``lossy=True`` the
+        default flips back to ``True``: sequence numbers are exactly how the
+        fleet's monitors *detect* gaps, and their datagram mode absorbs them
+        instead of rejecting the stream.  Override to force either.
+    lossy:
+        Datagram-transport mode, end to end.  Requires a fleet constructed
+        with ``lossy=True`` (the monitors read ``seq`` as the chunk's
+        absolute sample offset): frame loss — upstream, or shed here by
+        backpressure — becomes a detected gap with a DSP reset instead of a
+        stuck or rejected stream, stale frames are dropped and counted as
+        :attr:`GatewayStats.frames_gap_dropped`, and
+        :meth:`stats` folds the fleet's gap counters
+        (:attr:`GatewayStats.gaps_detected` /
+        :attr:`GatewayStats.windows_reset_by_gap`) into the snapshot.
     clock:
         Monotonic time source for :attr:`GatewayStats.uptime_s`; injectable
         for deterministic tests.
@@ -239,6 +271,7 @@ class IngestGateway:
         enforce_seq: Optional[bool] = None,
         clock: Callable[[], float] = time.monotonic,
         autoscaler: Optional["AutoscaleController"] = None,
+        lossy: bool = False,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ValueError(
@@ -247,11 +280,18 @@ class IngestGateway:
             )
         if queue_depth <= 0:
             raise ValueError("queue_depth must be positive")
+        self.lossy = bool(lossy)
+        if self.lossy != bool(getattr(fleet, "lossy", False)):
+            raise ValueError(
+                "gateway lossy=%r but its fleet was built with lossy=%r — the"
+                " transport mode decides how monitors read seq numbers, so"
+                " the two must match" % (self.lossy, getattr(fleet, "lossy", False))
+            )
         self.fleet = fleet
         self.queue_depth = int(queue_depth)
         self.backpressure = backpressure
         if enforce_seq is None:
-            enforce_seq = backpressure == "block"
+            enforce_seq = self.lossy or backpressure == "block"
         self.enforce_seq = bool(enforce_seq)
         self._gateway_policy = drain_policy
         self._previous_policy: Optional[DrainPolicy] = None
@@ -288,6 +328,12 @@ class IngestGateway:
         #: arriving and queue under the normal backpressure policies.
         self._quiesced: set = set()
         self._frames_forwarded = 0
+        self._frames_gap_dropped = 0
+        #: Arrival-order markers whose frame was shed or forwarded, gateway
+        #: wide (the sum of every queue's ``stale`` debt).  Bounded by
+        #: :meth:`_compact_order`, so a long lossy run cannot grow the order
+        #: deque without bound.
+        self._stale_markers = 0
         self._reshards = 0
         if autoscaler is not None and (
             not hasattr(fleet, "preview_reshard") or not hasattr(fleet, "reshard")
@@ -473,6 +519,11 @@ class IngestGateway:
                 queue.items.popleft()
                 self._queued -= 1
                 self._frames_shed += 1
+                # The shed frame's arrival-order marker is now stale; record
+                # the debt so the pump can consume it and the compactor can
+                # rebuild the order deque without scanning every queue.
+                queue.stale += 1
+                self._stale_markers += 1
             elif self.backpressure == "reject":
                 self._frames_received += 1
                 self._frames_rejected += 1
@@ -492,6 +543,7 @@ class IngestGateway:
         if len(queue.items) > self._max_queue_depth:
             self._max_queue_depth = len(queue.items)
         self._order.append(chunk.patient_id)
+        self._maybe_compact_order()
         self._data.set()
 
     async def _handle_connection(self, reader, writer) -> None:
@@ -634,6 +686,11 @@ class IngestGateway:
         queue.items.clear()
         self._queued -= len(taken)
         self._frames_forwarded += len(taken)
+        # Every forwarded frame leaves a stale arrival-order marker behind,
+        # exactly like a shed one.
+        queue.stale += len(taken)
+        self._stale_markers += len(taken)
+        self._maybe_compact_order()
         queue.space.set()
         return taken
 
@@ -699,6 +756,31 @@ class IngestGateway:
             self._policy_installed = False
 
     # ------------------------------------------------------------------ pump
+    def _maybe_compact_order(self) -> None:
+        """Drop stale markers from the arrival-order deque once they dominate.
+
+        Under sustained shed-oldest pressure (or repeated handoffs) every
+        shed frame leaves one stale marker behind; without compaction the
+        deque grows without bound and every pump scan wades through the
+        corpses.  Compaction keeps, per patient, exactly one marker per
+        queued frame — the leading markers, which are the ones that deliver
+        — so delivery order is untouched.  Synchronous, and only called from
+        synchronous sections, so it can never race the pump mid-delivery.
+        """
+        if self._stale_markers <= 64 or self._stale_markers <= self._queued:
+            return
+        live = {pid: len(queue.items) for pid, queue in self._queues.items()}
+        compacted: Deque[int] = deque()
+        for pid in self._order:
+            remaining = live.get(pid, 0)
+            if remaining:
+                compacted.append(pid)
+                live[pid] = remaining - 1
+        self._order = compacted
+        for queue in self._queues.values():
+            queue.stale = 0
+        self._stale_markers = 0
+
     def _deliver_one(self) -> bool:
         """Move the oldest deliverable queued frame into the fleet.
 
@@ -718,7 +800,12 @@ class IngestGateway:
                     continue
                 queue = self._queues[patient_id]
                 if not queue.items:
-                    continue  # stale marker left behind by a shed frame
+                    # Stale marker left behind by a shed or forwarded frame:
+                    # consume its recorded debt and move on.
+                    if queue.stale:
+                        queue.stale -= 1
+                        self._stale_markers -= 1
+                    continue
                 chunk = queue.items.popleft()
                 self._queued -= 1
                 if len(queue.items) < self.queue_depth:
@@ -729,7 +816,16 @@ class IngestGateway:
                         chunk.samples,
                         seq=chunk.seq if self.enforce_seq else None,
                     )
-                except (SequenceError, KeyError):
+                except SequenceError:
+                    if self.lossy:
+                        # A stale datagram behind a gap the stream already
+                        # skipped past (e.g. a cluster replay of frames an
+                        # earlier shed made obsolete): expected loss on this
+                        # transport, not a fault.
+                        self._frames_gap_dropped += 1
+                    else:
+                        self._frames_errored += 1
+                except KeyError:
                     self._frames_errored += 1
                 else:
                     self._frames_delivered += 1
@@ -815,10 +911,23 @@ class IngestGateway:
 
     # ----------------------------------------------------------------- stats
     def stats(self) -> GatewayStats:
-        """Snapshot the frame ledger, queue state and throughput."""
+        """Snapshot the frame ledger, queue state and throughput.
+
+        In lossy mode the fleet's gap counters are polled into the snapshot
+        (``gaps_detected`` / ``windows_reset_by_gap``); strict gateways skip
+        the sweep — the counters are structurally zero there.
+        """
         uptime = 0.0
         if self._started_t is not None:
             uptime = max(0.0, self._clock() - self._started_t)
+        gaps_detected = 0
+        windows_reset = 0
+        if self.lossy:
+            gap_stats = getattr(self.fleet, "gap_stats", None)
+            if gap_stats is not None:
+                gaps = gap_stats()
+                gaps_detected = gaps.gaps
+                windows_reset = gaps.windows_reset
         return GatewayStats(
             frames_received=self._frames_received,
             frames_delivered=self._frames_delivered,
@@ -838,4 +947,7 @@ class IngestGateway:
             frames_forwarded=self._frames_forwarded,
             autoscale_actions=self._autoscale_actions,
             drained_by_model=dict(self._drained_by_model),
+            frames_gap_dropped=self._frames_gap_dropped,
+            gaps_detected=gaps_detected,
+            windows_reset_by_gap=windows_reset,
         )

@@ -50,7 +50,7 @@ from repro.dsp.peaks import PanTompkinsParams
 from repro.serving.fleet import MonitorFleet, decision_sort_key, run_streams
 from repro.serving.registry import InferenceBackend, ModelRegistry
 from repro.serving.scheduler import DrainPolicy, DrainStats, merge_stats
-from repro.serving.streaming import PendingWindow, WindowDecision
+from repro.serving.streaming import GapStats, PendingWindow, WindowDecision
 from repro.serving.wire import decode_chunk_checked
 from repro.signals.windows import WindowingParams
 
@@ -373,6 +373,7 @@ def _shard_worker(
     detector_params: Optional[PanTompkinsParams],
     auto_register: bool,
     feature_cache: bool = True,
+    lossy: bool = False,
 ) -> None:
     """Worker-process loop: host one shard fleet, serve pipe requests."""
     fleet = MonitorFleet(
@@ -382,6 +383,7 @@ def _shard_worker(
         detector_params=detector_params,
         auto_register=auto_register,
         feature_cache=feature_cache,
+        lossy=lossy,
     )
     while True:
         request = conn.recv()
@@ -412,6 +414,7 @@ class _ProcessBackend:
         detector_params,
         auto_register: bool,
         feature_cache: bool = True,
+        lossy: bool = False,
     ) -> None:
         self._spawn_args = (
             classifier,
@@ -420,6 +423,7 @@ class _ProcessBackend:
             detector_params,
             auto_register,
             feature_cache,
+            lossy,
         )
         self._conns = []
         self._procs = []
@@ -555,6 +559,7 @@ class ShardedFleet:
         replicas: int = 64,
         shard_weights: Optional[Sequence[float]] = None,
         feature_cache: bool = True,
+        lossy: bool = False,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError("unknown backend %r (choose from %s)" % (backend, _BACKENDS))
@@ -570,6 +575,7 @@ class ShardedFleet:
         self.windowing = windowing
         self.detector_params = detector_params
         self.feature_cache = bool(feature_cache)
+        self.lossy = bool(lossy)
         self.ring = HashRing(self.n_shards, replicas=replicas, weights=shard_weights)
         self._clock = clock
         # The registry is routing-invariant: every shard classifies with the
@@ -586,6 +592,7 @@ class ShardedFleet:
                 detector_params,
                 self.auto_register,
                 self.feature_cache,
+                self.lossy,
             )
         else:
             shards = [self._make_shard() for _ in range(self.n_shards)]
@@ -610,6 +617,7 @@ class ShardedFleet:
             auto_register=self.auto_register,
             clock=self._clock,
             feature_cache=self.feature_cache,
+            lossy=self.lossy,
         )
 
     # --------------------------------------------------------------- models
@@ -990,6 +998,13 @@ class ShardedFleet:
             self._backend.call_all("stats"),
             chunks_since_drain=self._chunks_since_drain,
         )
+
+    def gap_stats(self) -> GapStats:
+        """Lossy-mode gap accounting summed over every shard's monitors."""
+        total = GapStats()
+        for stats in self._backend.call_all("gap_stats"):
+            total = total + stats
+        return total
 
     def local_stats(self) -> DrainStats:
         """Queue snapshot from the fleet's own counters — no shard calls.

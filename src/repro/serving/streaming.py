@@ -12,6 +12,7 @@ immediately with the monitor's own classifier.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -24,6 +25,7 @@ from repro.signals.windows import StreamingWindower, WindowerState, WindowingPar
 
 __all__ = [
     "MONITOR_STATE_VERSION",
+    "GapStats",
     "MonitorState",
     "PendingWindow",
     "WindowDecision",
@@ -34,8 +36,31 @@ __all__ = [
 #: Version stamp of :class:`MonitorState`; bumped on any incompatible change
 #: to the snapshot layout, so a restore can never silently misread a state
 #: produced by a different serving build.  Version 2: the ring-buffer
-#: windower added ``WindowerState.base_beat_index``.
-MONITOR_STATE_VERSION = 2
+#: windower added ``WindowerState.base_beat_index``.  Version 3: the lossy
+#: transport mode added ``MonitorState.n_gaps`` / ``windows_lost`` and
+#: ``PeakDetectorState.seed_from``.
+MONITOR_STATE_VERSION = 3
+
+
+@dataclass(frozen=True)
+class GapStats:
+    """Aggregated gap accounting of one or more lossy monitors.
+
+    Returned by ``MonitorFleet.gap_stats()`` / ``ShardedFleet.gap_stats()``
+    and folded into :class:`~repro.serving.ingest.GatewayStats` when the
+    gateway runs in lossy mode.
+    """
+
+    #: Sequence gaps detected (each one a ``StreamingMonitor.note_gap``).
+    gaps: int = 0
+    #: Grid windows abandoned because they would have spanned a gap.
+    windows_reset: int = 0
+
+    def __add__(self, other: "GapStats") -> "GapStats":
+        return GapStats(
+            gaps=self.gaps + other.gaps,
+            windows_reset=self.windows_reset + other.windows_reset,
+        )
 
 
 @dataclass(frozen=True)
@@ -119,6 +144,12 @@ class MonitorState:
     n_windows: int
     n_usable: int
     pending: Tuple[PendingWindow, ...] = ()
+    #: Lossy-mode gap accounting (both stay 0 on strict transports): gaps the
+    #: monitor absorbed via ``note_gap`` and grid windows those resets
+    #: abandoned.  Part of the snapshot so a migrated patient's gap history
+    #: follows them.
+    n_gaps: int = 0
+    windows_lost: int = 0
 
     @property
     def has_monitor(self) -> bool:
@@ -138,6 +169,8 @@ class MonitorState:
             and self.n_windows == other.n_windows
             and self.n_usable == other.n_usable
             and _pending_equal(self.pending, other.pending)
+            and self.n_gaps == other.n_gaps
+            and self.windows_lost == other.windows_lost
         )
 
 
@@ -215,16 +248,25 @@ class StreamingMonitor:
         Enable the overlap-aware per-beat partial cache of the feature
         extractor (bit-identical either way; the flag exists so parity can
         be asserted and the cache disabled in A/B comparisons).
+    lossy:
+        Datagram-transport mode.  ``seq`` becomes the *absolute sample
+        offset* of the chunk's first sample (not a chunk counter): a jump
+        ahead of the stream position is read as frame loss and absorbed via
+        :meth:`note_gap` instead of raising
+        :class:`~repro.serving.wire.OutOfOrderChunkError`; a stale chunk
+        still raises :class:`~repro.serving.wire.DuplicateChunkError`.
     """
 
     #: Not captured by :meth:`snapshot`, and pinned so by the
     #: ``snapshot-completeness`` rule of :mod:`repro.analysis`: the classifier
     #: is fleet-owned (a migrated patient is classified by the *destination*
-    #: fleet's registry), and the feature extractor (with the
-    #: ``feature_cache`` flag that configures it) carries pure cache state —
-    #: a revived monitor rebuilds an empty cache and reseeds it from the
-    #: first window it emits, bit-identically.
-    _SNAPSHOT_EXCLUDE = ("classifier", "_extractor", "feature_cache")
+    #: fleet's registry), the feature extractor (with the ``feature_cache``
+    #: flag that configures it) carries pure cache state — a revived monitor
+    #: rebuilds an empty cache and reseeds it from the first window it emits,
+    #: bit-identically — and ``lossy`` is transport configuration owned by
+    #: the fleet (a whole fleet is lossy or strict, never patient by
+    #: patient), reapplied by ``from_snapshot``.
+    _SNAPSHOT_EXCLUDE = ("classifier", "_extractor", "feature_cache", "lossy")
 
     def __init__(
         self,
@@ -234,17 +276,21 @@ class StreamingMonitor:
         windowing: WindowingParams | None = None,
         detector_params: PanTompkinsParams | None = None,
         feature_cache: bool = True,
+        lossy: bool = False,
     ) -> None:
         self.patient_id = int(patient_id)
         self.fs = float(fs)
         self.classifier = classifier
         self.feature_cache = bool(feature_cache)
+        self.lossy = bool(lossy)
         self._detector = StreamingPeakDetector(self.fs, detector_params)
         self._windower = StreamingWindower(windowing)
         self._extractor = FeatureExtractor(feature_cache=self.feature_cache)
         self._sequence = SequenceTracker()
         self._n_windows = 0
         self._n_usable = 0
+        self._n_gaps = 0
+        self._windows_lost = 0
 
     @property
     def time_seen_s(self) -> float:
@@ -264,6 +310,16 @@ class StreamingMonitor:
     def last_seq(self) -> Optional[int]:
         """Sequence number of the last chunk accepted with an explicit ``seq``."""
         return self._sequence.last_seq
+
+    @property
+    def n_gaps(self) -> int:
+        """Sequence gaps absorbed so far (always 0 on a strict transport)."""
+        return self._n_gaps
+
+    @property
+    def windows_reset_by_gap(self) -> int:
+        """Grid windows abandoned because they would have spanned a gap."""
+        return self._windows_lost
 
     def snapshot(self) -> MonitorState:
         """Capture the monitor's complete per-patient state.
@@ -285,11 +341,17 @@ class StreamingMonitor:
             sequence=self._sequence.snapshot(),
             n_windows=self._n_windows,
             n_usable=self._n_usable,
+            n_gaps=self._n_gaps,
+            windows_lost=self._windows_lost,
         )
 
     @classmethod
     def from_snapshot(
-        cls, state: MonitorState, classifier=None, feature_cache: bool = True
+        cls,
+        state: MonitorState,
+        classifier=None,
+        feature_cache: bool = True,
+        lossy: bool = False,
     ) -> "StreamingMonitor":
         """Revive a monitor from a :class:`MonitorState`, mid-stream.
 
@@ -315,31 +377,106 @@ class StreamingMonitor:
             windowing=state.windower.params,
             detector_params=state.detector.params,
             feature_cache=feature_cache,
+            lossy=lossy,
         )
         monitor._detector = StreamingPeakDetector.from_snapshot(state.detector)
         monitor._windower = StreamingWindower.from_snapshot(state.windower)
         monitor._sequence = SequenceTracker.from_snapshot(state.sequence)
         monitor._n_windows = int(state.n_windows)
         monitor._n_usable = int(state.n_usable)
+        monitor._n_gaps = int(state.n_gaps)
+        monitor._windows_lost = int(state.windows_lost)
         return monitor
 
     def push(self, chunk: np.ndarray, seq: int | None = None) -> List[PendingWindow]:
         """Consume one chunk of raw ECG; return newly completed windows.
 
-        When ``seq`` is given (a per-patient chunk sequence number, starting
-        at 0 — see :mod:`repro.serving.wire`), delivery order is enforced
-        *before* any sample touches the DSP state: a repeated sequence number
+        When ``seq`` is given, delivery order is policed *before* any sample
+        touches the DSP state, but the tracker advances only once the chunk's
+        samples are absorbed (commit-on-success): a push that failed before
+        absorbing anything can simply be retried with the same ``seq``
+        without being misread as a duplicate.
+
+        On a strict transport ``seq`` is a per-patient chunk counter starting
+        at 0 (see :mod:`repro.serving.wire`): a repeated sequence number
         raises :class:`~repro.serving.wire.DuplicateChunkError` and a skipped
         or reordered one raises
         :class:`~repro.serving.wire.OutOfOrderChunkError`, leaving the
         monitor's carry-over state untouched.
+
+        In ``lossy`` mode ``seq`` is the absolute sample offset of
+        ``chunk[0]``: a stale chunk still raises
+        :class:`~repro.serving.wire.DuplicateChunkError`, but a jump ahead is
+        frame loss — the gap is absorbed via :meth:`note_gap` (DSP reset, no
+        emitted window ever spans the missing samples) and the chunk is then
+        processed normally.  Every lossy push must carry a ``seq``; the gap
+        arithmetic is what keeps the monitor's clock aligned with the true
+        stream.
         """
+        span = 0
         if seq is not None:
-            self._sequence.validate(seq)
+            seq = int(seq)
+            if self.lossy:
+                span = int(np.asarray(chunk).size)
+                if self._sequence.check_datagram(seq):
+                    self.note_gap(seq)
+            else:
+                self._sequence.check(seq)
         indices, times, amplitudes = self._detector.process(chunk)
+        # The absorption point: only now may the tracker move (by the
+        # chunk's sample span in datagram mode, by one chunk otherwise).
+        if seq is not None:
+            self._sequence.validate(seq, span=span if self.lossy else 1)
         completed = self._windower.push(times, amplitudes)
         completed += self._windower.advance(self._detector.finalized_time_s)
         return self._featurize(completed)
+
+    def note_gap(self, resume_sample: int) -> int:
+        """Absorb a sequence gap: samples up to ``resume_sample`` are lost.
+
+        Declares everything between the stream position and the absolute
+        sample index ``resume_sample`` missing, then resets every piece of
+        state that could otherwise leak across the gap:
+
+        * the sequence tracker skips forward (:meth:`SequenceTracker.skip_to
+          <repro.serving.wire.SequenceTracker.skip_to>`),
+        * the peak detector drops its carry-over buffer, unfinalised tail and
+          adaptive level and resumes segment-fresh at ``resume_sample``
+          (absolute beat indices stay monotone),
+        * the windower abandons its partial windows and restarts the window
+          grid at the first *original-grid* start past the resume point plus
+          the detector's warm-up guard — so the first post-gap window only
+          covers samples whose detection no longer depends on the gap, and
+          its start lands exactly where a lossless run would have put a
+          window.  The absolute beat index keeps counting past the dropped
+          beats, so the downstream ``BeatPartialCache`` reseeds instead of
+          aliasing pre-gap beats with post-gap ones.
+
+        Returns the number of grid windows abandoned (also accumulated in
+        :attr:`windows_reset_by_gap`).  Raises ``ValueError`` when
+        ``resume_sample`` is behind the stream, and ``RuntimeError`` on a
+        strict-transport monitor, where seqs do not measure samples.
+        """
+        if not self.lossy:
+            raise RuntimeError(
+                "note_gap is only meaningful in lossy mode, where seq numbers"
+                " are sample offsets"
+            )
+        resume = int(resume_sample)
+        self._sequence.skip_to(resume)
+        self._detector.resume_at(resume)
+        target = resume / self.fs + self._detector.warmup_s
+        step = self._windower.params.step_s
+        # Walk the grid forward by repeated addition — the same accumulation
+        # the windower performs on emission — so post-gap window starts are
+        # bit-identical to the lossless run's grid.
+        new_start = self._windower.window_start_s
+        while new_start < target:
+            new_start += step
+        lost = self._windower.reset(new_start)
+        self._n_gaps += 1
+        self._windows_lost += lost
+        return lost
 
     def finish(self) -> List[PendingWindow]:
         """Flush the detector and windower at end of stream."""

@@ -685,6 +685,17 @@ class SequenceTracker:
     transport retransmits the expected chunk the stream re-synchronises as
     if the rejected chunks had never arrived (``tests/test_serving_wire.py``
     pins this).
+
+    **Datagram mode**: lossy transports cannot retransmit, so the tracker
+    also offers an explicit, forward-only recovery API.  :meth:`skip_to`
+    declares everything before ``seq`` lost and moves the tracker there (the
+    caller resets whatever state spanned the gap first);
+    :meth:`accept_datagram` bundles the common case — stale datagrams still
+    raise :class:`DuplicateChunkError`, a datagram ahead of the stream skips
+    the tracker forward and reports how many units were lost.  In datagram
+    mode ``seq`` carries the stream *offset* of the payload's first unit
+    (e.g. the absolute sample index), and acceptance advances by the
+    payload's ``span``, so a gap's size is known exactly from the jump.
     """
 
     def __init__(self, first_seq: int = 0) -> None:
@@ -722,8 +733,13 @@ class SequenceTracker:
         tracker._expected = int(expected)
         return tracker
 
-    def validate(self, seq: int) -> int:
-        """Accept ``seq`` or raise; returns the accepted sequence number."""
+    def check(self, seq: int) -> int:
+        """Classify ``seq`` like :meth:`validate` but never move the tracker.
+
+        Lets a caller reject a chunk *before* absorbing its payload and
+        commit the advancement only once absorption succeeded, so a failed
+        absorb can be retried without being misread as a duplicate.
+        """
         seq = int(seq)
         if seq < self._expected:
             raise DuplicateChunkError(
@@ -737,5 +753,68 @@ class SequenceTracker:
                 seq=seq,
                 expected=self._expected,
             )
-        self._expected += 1
         return seq
+
+    def validate(self, seq: int, span: int = 1) -> int:
+        """Accept ``seq`` or raise; returns the accepted sequence number.
+
+        ``span`` is how far acceptance advances the tracker: 1 for counted
+        chunks (the default, and the strict-transport behaviour), or the
+        payload's unit count in datagram mode, where ``seq`` is a stream
+        offset rather than a chunk counter.
+        """
+        seq = self.check(seq)
+        if span < 0:
+            raise ValueError("span must be >= 0, got %d" % span)
+        self._expected += int(span)
+        return seq
+
+    def skip_to(self, seq: int) -> int:
+        """Declare everything before ``seq`` lost; returns the units skipped.
+
+        Forward-only: moving the tracker backwards would re-open a window
+        for duplicates, so a ``seq`` behind :attr:`expected` raises
+        ``ValueError``.  The caller is responsible for resetting any state
+        that spanned the gap *before* pushing post-gap data.
+        """
+        seq = int(seq)
+        if seq < self._expected:
+            raise ValueError(
+                "cannot skip backwards to seq %d (next expected %d)"
+                % (seq, self._expected)
+            )
+        skipped = seq - self._expected
+        self._expected = seq
+        return skipped
+
+    def check_datagram(self, seq: int) -> int:
+        """Datagram-tolerant :meth:`check`: stale raises, ahead is a gap.
+
+        Returns the gap size in units (0 when ``seq`` is exactly the next
+        expected offset) without moving the tracker; a ``seq`` behind the
+        stream raises :class:`DuplicateChunkError` exactly like the strict
+        mode, because late datagrams must not rewind absorbed state.
+        """
+        seq = int(seq)
+        if seq < self._expected:
+            raise DuplicateChunkError(
+                "stale datagram seq %d (stream is at %d)" % (seq, self._expected),
+                seq=seq,
+                expected=self._expected,
+            )
+        return seq - self._expected
+
+    def accept_datagram(self, seq: int, span: int) -> int:
+        """Accept a datagram at stream offset ``seq`` covering ``span`` units.
+
+        The DATAGRAM-tolerant accept mode: a stale datagram raises
+        :class:`DuplicateChunkError`; one ahead of the stream skips the
+        tracker to ``seq`` first.  Returns how many units were skipped (0
+        for in-order delivery).  Never raises ``OutOfOrderChunkError`` —
+        on a lossy transport a jump ahead *is* the loss signal.
+        """
+        skipped = self.check_datagram(seq)
+        if skipped:
+            self.skip_to(seq)
+        self.validate(seq, span=span)
+        return skipped

@@ -15,6 +15,7 @@ split by recording session).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import List, Sequence
 
@@ -341,7 +342,7 @@ class StreamingWindower:
         windower._clock = float(state.clock_s)
         return windower
 
-    def reset(self, start_s: float) -> None:
+    def reset(self, start_s: float) -> int:
         """Drop every buffered beat and restart the window grid at ``start_s``.
 
         The recovery primitive for sequence gaps (lossy transport): windows
@@ -349,12 +350,20 @@ class StreamingWindower:
         in their beat data.  The absolute beat index keeps counting past the
         dropped beats, so downstream per-beat caches can never alias a
         pre-gap beat with a post-gap one.
+
+        Returns the number of grid windows abandoned by the restart — the
+        window starts in ``[old_start, start_s)`` that now can never be
+        emitted (0 when restarting at or before the current window).
         """
+        start_s = float(start_s)
+        step = self.params.step_s
+        abandoned = max(int(math.ceil((start_s - self._start) / step - 1e-9)), 0)
         self._base += self._count
         self._count = 0
         self._head = 0
-        self._start = float(start_s)
-        self._clock = max(self._clock, float(start_s))
+        self._start = start_s
+        self._clock = max(self._clock, start_s)
+        return abandoned
 
     # ---------------------------------------------------------------- stream
     def push(

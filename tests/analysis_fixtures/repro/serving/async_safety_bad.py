@@ -43,3 +43,10 @@ class BadGateway:
     async def lock_across_await(self, queue, frame) -> None:
         with _STATE_LOCK:  # expect[async-safety]
             await queue.put(frame)
+
+    async def gap_drop_split_across_await(self, queue, frame) -> None:
+        # The lossy-pump bug class: a gap-dropped frame's accounting must
+        # leave the ledger balanced before the coroutine can suspend.
+        self._frames_gap_dropped += 1
+        await queue.put(frame)  # expect[async-safety]
+        self._queued -= 1
